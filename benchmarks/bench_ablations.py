@@ -1,0 +1,22 @@
+"""Benchmark: ablation study over PiPAD's individual mechanisms."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+
+
+def test_pipad_ablations(benchmark, light_config):
+    rows = run_once(
+        benchmark, run_experiment, "ablations", light_config, dataset="hepth", model="tgcn"
+    )
+    print("\n" + format_experiment("ablations", rows))
+    full = rows["full"]["epoch_seconds"]
+    assert full > 0
+    # Disabling an optimization never makes PiPAD meaningfully faster.
+    for name, row in rows.items():
+        assert row["slowdown_vs_full"] > 0.9, name
+    # The pipeline and CUDA-Graph launching are load-bearing on this workload.
+    assert rows["no_pipeline"]["slowdown_vs_full"] >= 1.0
+    assert rows["no_cuda_graph"]["slowdown_vs_full"] >= 1.0

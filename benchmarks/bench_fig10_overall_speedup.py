@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 10 (end-to-end training speedup over PyGT)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+from repro.experiments.fig10_overall_speedup import speedups
+
+
+def test_fig10_overall_speedup(benchmark, bench_config):
+    rows = run_once(benchmark, run_experiment, "fig10", bench_config)
+    print("\n" + format_experiment("fig10", rows))
+    table = speedups(rows)
+    assert table, "no combinations were trained"
+    for key, row in table.items():
+        # Paper: PiPAD outperforms every compared method on every combination
+        # (1.22x-9.57x over the baselines).
+        assert row["PiPAD"] > 1.0, key
+        assert row["PiPAD"] >= max(v for m, v in row.items() if m != "PiPAD") * 0.95, key
+        # Incremental variants never lose badly to plain PyGT.
+        assert row["PyGT-A"] > 0.8, key
+    # The paper's overall band: speedups between roughly 1.2x and 10x.
+    pipad_speedups = [row["PiPAD"] for row in table.values()]
+    assert max(pipad_speedups) > 2.0
+    assert min(pipad_speedups) > 1.0

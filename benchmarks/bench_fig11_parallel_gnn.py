@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Fig. 11(a)/(b) (parallel-GNN detailed analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+from repro.experiments.fig11_parallel_gnn import dimension_sensitivity
+
+
+def test_fig11a_parallel_gnn_analysis(benchmark, bench_config):
+    rows = run_once(benchmark, run_experiment, "fig11", bench_config)
+    print("\n" + format_experiment("fig11", rows))
+    speedups_pygt = [row["speedup_over_pygt"] for row in rows.values()]
+    speedups_gespmm = [row["speedup_over_pygt_g"] for row in rows.values()]
+    # Paper: average 5.6x over PyGT and 3.1x over PyGT-G for the GNN module;
+    # the reproduction must show clear wins over both (shape, not exact value).
+    assert np.mean(speedups_pygt) > 2.0
+    assert np.mean(speedups_gespmm) > 1.2
+    # Paper: ~57 % fewer requests and ~45 % fewer transactions than PyGT-G on
+    # average; require a clear average reduction on both counters.
+    assert np.mean([row["request_reduction"] for row in rows.values()]) > 0.2
+    assert np.mean([row["transaction_reduction"] for row in rows.values()]) > 0.05
+
+
+def test_fig11b_dimension_sensitivity(benchmark, bench_config):
+    sensitivity = benchmark.pedantic(
+        dimension_sensitivity,
+        kwargs={"config": bench_config, "dataset": "hepth", "dimensions": (2, 8, 16, 32, 64, 128)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig. 11(b) GNN speedup over PyGT by feature dimension:")
+    for dim, speedup in sorted(sensitivity.items()):
+        print(f"  dim {dim:>4}: {speedup:.2f}x")
+    # Paper: considerable speedups (at least 5.2x there) across all dimensions;
+    # here we require >2x everywhere with the small-dimension side largest.
+    assert all(speedup > 2.0 for speedup in sensitivity.values())
+    assert sensitivity[2] >= sensitivity[128]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 4 (GPU computation-time breakdown)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+
+
+def test_fig4_compute_breakdown(benchmark, light_config):
+    rows = run_once(benchmark, run_experiment, "fig4", light_config)
+    print("\n" + format_experiment("fig4", rows))
+    for key, row in rows.items():
+        total = row["gnn_fraction"] + row["rnn_fraction"] + row["other_fraction"]
+        assert abs(total - 1.0) < 1e-6
+    # Paper: the GNN module remains the major computation burden for EvolveGCN.
+    evolvegcn_rows = {k: v for k, v in rows.items() if k.startswith("evolvegcn")}
+    assert all(row["gnn_fraction"] > row["rnn_fraction"] for row in evolvegcn_rows.values())

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 5 (memory requests/transactions vs feature dim)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+
+
+def test_fig5_memory_requests(benchmark, bench_config):
+    rows = run_once(benchmark, run_experiment, "fig5", bench_config)
+    print("\n" + format_experiment("fig5", rows))
+    # Paper: transactions barely change below dim 8, then rise; requests only
+    # begin to rise once the dimension exceeds 32.
+    assert rows[8]["transactions_per_nnz"] <= rows[2]["transactions_per_nnz"] * 1.25
+    assert rows[32]["transactions_per_nnz"] > rows[8]["transactions_per_nnz"]
+    assert rows[32]["requests_per_nnz"] <= rows[2]["requests_per_nnz"] * 1.5
+    assert rows[128]["requests_per_nnz"] > rows[32]["requests_per_nnz"]

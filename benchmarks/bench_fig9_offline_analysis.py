@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 9 (offline analysis of the parallel GNN)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+
+
+def test_fig9_offline_analysis(benchmark, bench_config):
+    rows = run_once(benchmark, run_experiment, "fig9", bench_config)
+    print("\n" + format_experiment("fig9", rows))
+    overlap_table = rows["speedup_vs_overlap"]
+    dim_table = rows["speedup_vs_dimension"]
+    # Paper: larger S_per is preferred at equal overlap rate, and speedups grow
+    # with the overlap rate.
+    for overlap in (0.1, 0.5, 0.9):
+        assert overlap_table[(8, overlap)] >= overlap_table[(2, overlap)] * 0.95
+    for s_per in (2, 4, 8):
+        assert overlap_table[(s_per, 0.9)] >= overlap_table[(s_per, 0.1)]
+    # Paper: the parallel GNN keeps a clear advantage across feature dimensions,
+    # with the largest wins in the small-dimension (bandwidth-unsaturated) regime.
+    assert all(speedup > 1.0 for speedup in dim_table.values())
+    assert dim_table[(8, 2)] > dim_table[(8, 64)]

@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the aggregation kernels (numerics + cost estimation).
+
+Unlike the figure-level benchmarks these run multiple rounds, so the
+pytest-benchmark statistics are meaningful for tracking the Python-side cost
+of the kernels themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRMatrix
+from repro.gpu import GPUSpec
+from repro.kernels import GESpMMAggregation, PyGCOOAggregation, SlicedParallelAggregation
+
+SPEC = GPUSpec()
+
+
+def _adjacency(num_nodes=2000, avg_degree=4, seed=0):
+    rng = np.random.default_rng(seed)
+    m = num_nodes * avg_degree
+    rows, cols = rng.integers(0, num_nodes, m), rng.integers(0, num_nodes, m)
+    mask = rows != cols
+    return CSRMatrix.from_edges(rows[mask], cols[mask], (num_nodes, num_nodes))
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return _adjacency()
+
+
+@pytest.fixture(scope="module")
+def features():
+    return np.random.default_rng(1).random((2000, 16)).astype(np.float32)
+
+
+@pytest.mark.parametrize("kernel_cls", [PyGCOOAggregation, GESpMMAggregation, SlicedParallelAggregation])
+def test_kernel_forward_numerics(benchmark, adjacency, features, kernel_cls):
+    kernel = kernel_cls(adjacency, SPEC)
+    result = benchmark(kernel.forward, features)
+    assert result.shape == features.shape
+
+
+@pytest.mark.parametrize("kernel_cls", [PyGCOOAggregation, GESpMMAggregation, SlicedParallelAggregation])
+def test_kernel_cost_estimation(benchmark, adjacency, kernel_cls):
+    kernel = kernel_cls(adjacency, SPEC, scale=1000.0)
+    cost = benchmark(kernel.forward_cost, (2000, 16))
+    assert cost.execution_seconds(SPEC) > 0
+
+
+def test_sliced_csr_construction(benchmark, adjacency):
+    from repro.graph import SlicedCSRMatrix
+
+    sliced = benchmark(SlicedCSRMatrix.from_csr, adjacency, 32)
+    assert sliced.nnz == adjacency.nnz

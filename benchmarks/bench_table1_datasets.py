@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (dataset statistics)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+
+
+def test_table1_datasets(benchmark, bench_config):
+    rows = run_once(benchmark, run_experiment, "table1", bench_config)
+    print("\n" + format_experiment("table1", rows))
+    assert len(rows) == 7
+    # Analogues preserve the paper's feature dimensions and snapshot ordering.
+    assert rows["flickr"]["feature_dim"] == 2
+    assert rows["hepth"]["feature_dim"] == 16
+    # Topology change rates sit near the ~10 % the paper reports.
+    for name, row in rows.items():
+        if name != "pems08":
+            assert 0.0 < row["analogue_avg_change_rate"] < 0.35

@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper via the
+experiment harness, prints the resulting rows (so the benchmark log doubles
+as the reproduction record) and reports the wall-clock cost of regenerating
+it through pytest-benchmark.  Sweeps are scaled down relative to the paper's
+full grid so the whole harness completes in minutes; pass ``--full-sweep``
+to use the paper's complete dataset/model grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sweep",
+        action="store_true",
+        default=False,
+        help="run the paper's full dataset/model/method grid (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config(request) -> ExperimentConfig:
+    """Sweep used by the heavier end-to-end benchmarks."""
+    if request.config.getoption("--full-sweep"):
+        return ExperimentConfig.full()
+    return ExperimentConfig(
+        datasets=("flickr", "youtube", "hepth", "covid19_england"),
+        models=("evolvegcn", "tgcn"),
+        num_snapshots=12,
+        frame_size=8,
+        epochs=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def light_config(request) -> ExperimentConfig:
+    """Smaller sweep for benchmarks that would otherwise retrain everything."""
+    if request.config.getoption("--full-sweep"):
+        return ExperimentConfig.full()
+    return ExperimentConfig(
+        datasets=("flickr", "covid19_england"),
+        models=("evolvegcn",),
+        num_snapshots=12,
+        frame_size=8,
+        epochs=3,
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Evolving-graph modelling with EvolveGCN on the Epinions analogue.
+
+EvolveGCN evolves its GCN weights along the timeline with a GRU, so the
+cross-snapshot dependence sits in the *weights* rather than the hidden
+states; PiPAD's weight reuse is therefore disabled automatically while the
+parallel aggregation still applies (§4.2).  The example trains on a trust
+network whose edges churn over time, compares all five methods and prints
+the memory-access statistics of the run.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import METHOD_ORDER, TrainerConfig, make_trainer
+from repro.core import PiPADConfig
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("epinions", seed=3, num_snapshots=12)
+    config = TrainerConfig(model="evolvegcn", frame_size=8, epochs=3, lr=1e-3, seed=3)
+
+    print(f"dataset: {graph.name}  nodes={graph.num_nodes}  "
+          f"avg change rate={graph.average_change_rate():.3f}\n")
+
+    results = {}
+    for method in METHOD_ORDER:
+        kwargs = {"pipad_config": PiPADConfig(preparing_epochs=1)} if method == "PiPAD" else {}
+        results[method] = make_trainer(method, graph, config, **kwargs).train()
+
+    baseline = results["PyGT"]
+    print(f"{'method':<8} {'epoch (ms)':>12} {'speedup':>9} {'mem transactions':>18} {'loss':>9}")
+    for method, result in results.items():
+        print(
+            f"{method:<8} {result.steady_epoch_seconds * 1e3:>12.2f} "
+            f"{baseline.steady_epoch_seconds / result.steady_epoch_seconds:>8.2f}x "
+            f"{result.memory_transactions:>18.2e} {result.final_loss:>9.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Regenerate the paper's tables and figures from the experiment harness.
+
+``python examples/reproduce_paper.py``            — quick sweep (minutes)
+``python examples/reproduce_paper.py --full``     — the paper's full grid
+``python examples/reproduce_paper.py fig10 fig11``— selected artifacts only
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import ExperimentConfig, format_experiment, list_experiments, run_experiment
+
+#: artifacts cheap enough for the default quick run
+DEFAULT_ARTIFACTS = ["table1", "fig5", "fig9", "fig11", "space_overhead", "fig3", "fig10", "table2"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="*", default=None,
+                        help=f"artifacts to regenerate (default: {DEFAULT_ARTIFACTS})")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full dataset/model/method grid (slow)")
+    args = parser.parse_args()
+
+    config = ExperimentConfig.full() if args.full else ExperimentConfig()
+    artifacts = args.artifacts or DEFAULT_ARTIFACTS
+    unknown = set(artifacts) - set(list_experiments())
+    if unknown:
+        raise SystemExit(f"unknown artifacts {sorted(unknown)}; available: {list_experiments()}")
+
+    for name in artifacts:
+        start = time.perf_counter()
+        rows = run_experiment(name, config)
+        elapsed = time.perf_counter() - start
+        print(f"\n=== {name} (regenerated in {elapsed:.1f}s) " + "=" * 40)
+        print(format_experiment(name, rows))
+
+
+if __name__ == "__main__":
+    main()

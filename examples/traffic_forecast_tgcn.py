@@ -1,0 +1,43 @@
+"""Traffic forecasting with T-GCN on the PEMS08 analogue (static topology).
+
+The PEMS08 road-sensor network has a fixed topology — only the node signals
+evolve — which makes it the best case for inter-frame reuse: every frame's
+first-layer aggregation is identical, so after the first frame PiPAD serves
+all aggregations from its reuse buffers and ships almost no adjacency data.
+The script trains T-GCN, reports the reuse statistics and evaluates the
+forecast error on the last frame.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import PyGTReuseTrainer, TrainerConfig
+from repro.core import PiPADConfig, PiPADTrainer
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("pems08", seed=1, num_snapshots=16)
+    config = TrainerConfig(model="tgcn", frame_size=8, epochs=4, lr=5e-3, seed=1)
+
+    print(f"dataset: {graph.name} — static road topology, {graph.num_nodes} sensors")
+    print(f"topology change rate: {graph.average_change_rate():.3f} (0.0 = fully static)\n")
+
+    pipad = PiPADTrainer(graph, config, PiPADConfig(preparing_epochs=1))
+    result = pipad.train()
+    eval_mse = pipad.evaluate()
+
+    reuse = {k: v for k, v in result.extras.items() if "hit" in k or "miss" in k}
+    print(f"simulated training time: {result.simulated_seconds * 1e3:.2f} ms "
+          f"({result.epochs} epochs)")
+    print(f"steady-state epoch time: {result.steady_epoch_seconds * 1e3:.2f} ms")
+    print(f"reuse statistics: {reuse}")
+    print(f"loss curve: {[round(l, 4) for l in result.loss_curve()]}")
+    print(f"held-out forecast MSE (last frame): {eval_mse:.4f}")
+
+    baseline = PyGTReuseTrainer(graph, config).train()
+    print(f"\nPyGT-R epoch time: {baseline.steady_epoch_seconds * 1e3:.2f} ms — "
+          f"PiPAD speedup {baseline.steady_epoch_seconds / result.steady_epoch_seconds:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""PiPAD reproduction: pipelined and parallel dynamic GNN training.
+
+This package reproduces the system described in "PiPAD: Pipelined and
+Parallel Dynamic GNN Training on GPUs" (PPoPP 2023) on a pure-Python
+substrate: real numerics run on NumPy/SciPy while GPU-side behaviour
+(memory transactions, warp occupancy, PCIe transfers, stream overlap) is
+captured by an analytic simulated device so the paper's performance
+experiments can be regenerated without CUDA hardware.
+
+Sub-packages
+------------
+- :mod:`repro.graph` — dynamic-graph substrate (formats, snapshots, frames,
+  overlap extraction, dataset analogues).
+- :mod:`repro.tensor` — NumPy autograd engine and NN building blocks.
+- :mod:`repro.gpu` — simulated GPU device, memory/warp cost models, PCIe,
+  streams and timeline.
+- :mod:`repro.kernels` — aggregation/update kernels (PyG COO, GE-SpMM CSR,
+  PiPAD sliced parallel) with numerics + hardware cost.
+- :mod:`repro.nn` — the three DGNN models (MPNN-LSTM, EvolveGCN, T-GCN).
+- :mod:`repro.core` — the PiPAD runtime (slicer, overlap-aware transfer,
+  parallel GNN, pipeline, inter-frame reuse, dynamic tuner, trainer).
+- :mod:`repro.baselines` — PyGT and its PyGT-A / PyGT-R / PyGT-G variants.
+- :mod:`repro.profiling` — breakdowns, utilization, load-balance analysis.
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+Commonly used names (``load_dataset``, ``PiPADTrainer``, ``SimulatedGPU``,
+...) are re-exported lazily at the top level.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.version import __version__
+
+# name -> submodule providing it; resolved lazily on first attribute access
+_LAZY_EXPORTS = {
+    # graph substrate
+    "COOMatrix": "repro.graph",
+    "CSRMatrix": "repro.graph",
+    "SlicedCSRMatrix": "repro.graph",
+    "GraphSnapshot": "repro.graph",
+    "DynamicGraph": "repro.graph",
+    "FrameIterator": "repro.graph",
+    "SnapshotOverlap": "repro.graph",
+    "load_dataset": "repro.graph",
+    "list_datasets": "repro.graph",
+    # simulated GPU
+    "GPUSpec": "repro.gpu",
+    "PCIeSpec": "repro.gpu",
+    "SimulatedGPU": "repro.gpu",
+    # PiPAD runtime
+    "PiPADConfig": "repro.core",
+    "PiPADTrainer": "repro.core",
+    # baselines
+    "PyGTTrainer": "repro.baselines",
+    "PyGTAsyncTrainer": "repro.baselines",
+    "PyGTReuseTrainer": "repro.baselines",
+    "PyGTGeSpMMTrainer": "repro.baselines",
+    "make_trainer": "repro.baselines",
+    # models
+    "build_model": "repro.nn",
+    # experiments
+    "run_experiment": "repro.experiments",
+    "list_experiments": "repro.experiments",
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_EXPORTS:
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,69 @@
+"""Baseline trainers: PyGT and its incrementally enhanced variants."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.baselines.base import DGNNTrainerBase, TrainerConfig
+from repro.baselines.results import EpochMetrics, TrainingResult
+from repro.baselines.pygt import (
+    PyGTAsyncTrainer,
+    PyGTGeSpMMTrainer,
+    PyGTReuseTrainer,
+    PyGTTrainer,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def _registry() -> Dict[str, Type[DGNNTrainerBase]]:
+    from repro.core.trainer import PiPADTrainer  # local import to avoid a cycle
+
+    return {
+        "pygt": PyGTTrainer,
+        "pygt-a": PyGTAsyncTrainer,
+        "pygt-r": PyGTReuseTrainer,
+        "pygt-g": PyGTGeSpMMTrainer,
+        "pipad": PiPADTrainer,
+    }
+
+
+#: method order used in the paper's figures
+METHOD_ORDER: List[str] = ["PyGT", "PyGT-A", "PyGT-R", "PyGT-G", "PiPAD"]
+
+
+def list_methods() -> List[str]:
+    """Canonical method names, in figure order."""
+    return list(METHOD_ORDER)
+
+
+def make_trainer(
+    method: str,
+    graph: DynamicGraph,
+    config: Optional[TrainerConfig] = None,
+    **kwargs,
+) -> DGNNTrainerBase:
+    """Instantiate a trainer by method name (``"pygt"``, ..., ``"pipad"``).
+
+    Extra keyword arguments are forwarded to the trainer constructor (PiPAD
+    accepts its own ``pipad_config``).
+    """
+    key = method.lower().replace("_", "-")
+    registry = _registry()
+    if key not in registry:
+        raise KeyError(f"unknown method {method!r}; available: {sorted(registry)}")
+    return registry[key](graph, config, **kwargs)
+
+
+__all__ = [
+    "DGNNTrainerBase",
+    "TrainerConfig",
+    "EpochMetrics",
+    "TrainingResult",
+    "PyGTTrainer",
+    "PyGTAsyncTrainer",
+    "PyGTReuseTrainer",
+    "PyGTGeSpMMTrainer",
+    "METHOD_ORDER",
+    "list_methods",
+    "make_trainer",
+]

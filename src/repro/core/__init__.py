@@ -1,0 +1,30 @@
+"""PiPAD runtime: data organization, parallel GNN, pipeline, reuse, tuning."""
+
+from repro.core.config import PiPADConfig
+from repro.core.slicer import GraphSlicer
+from repro.core.data_prep import DataPreparer, PartitionData
+from repro.core.reuse import ReuseManager
+from repro.core.parallel_gnn import ParallelAggregationProvider
+from repro.core.tuner import (
+    DynamicTuner,
+    FrameProfile,
+    OfflineAnalysis,
+    TuningDecision,
+    build_overlap_group,
+)
+from repro.core.trainer import PiPADTrainer
+
+__all__ = [
+    "PiPADConfig",
+    "GraphSlicer",
+    "DataPreparer",
+    "PartitionData",
+    "ReuseManager",
+    "ParallelAggregationProvider",
+    "DynamicTuner",
+    "FrameProfile",
+    "OfflineAnalysis",
+    "TuningDecision",
+    "build_overlap_group",
+    "PiPADTrainer",
+]

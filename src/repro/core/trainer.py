@@ -1,0 +1,311 @@
+"""The PiPAD trainer: pipelined, partition-parallel DGNN training (§4).
+
+The trainer extends the shared training loop with PiPAD's four mechanisms:
+
+1. *Overlap-aware data organization* — snapshots are shipped per partition as
+   one sliced-CSR overlap adjacency plus per-snapshot exclusives
+   (:class:`~repro.core.data_prep.DataPreparer`,
+   :class:`~repro.core.slicer.GraphSlicer`).
+2. *Intra-frame parallelism* — the GNN part of a partition executes through
+   the :class:`~repro.core.parallel_gnn.ParallelAggregationProvider`, with
+   locality-optimized weight reuse in the update GEMM and CUDA-Graph
+   launches.
+3. *Pipeline execution* — CPU preparation, PCIe transfers and kernels run on
+   separate streams of the simulated device so partition ``k+1``'s transfer
+   hides behind partition ``k``'s compute.
+4. *Inter-frame reuse and dynamic tuning* — first-layer aggregation results
+   are cached on the host and (capacity permitting) on the device
+   (:class:`~repro.core.reuse.ReuseManager`), and the per-frame parallelism
+   level is chosen by the :class:`~repro.core.tuner.DynamicTuner` from the
+   offline kernel analysis plus statistics gathered in the preparing epochs.
+
+Epoch 0..``preparing_epochs-1`` run in the canonical one-snapshot manner
+(while populating caches and statistics); subsequent epochs run the
+partition-parallel schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import DGNNTrainerBase, TrainerConfig
+from repro.baselines.results import EpochMetrics
+from repro.core.config import PiPADConfig
+from repro.core.data_prep import DataPreparer, PartitionData
+from repro.core.parallel_gnn import ParallelAggregationProvider
+from repro.core.reuse import ReuseManager
+from repro.core.slicer import GraphSlicer
+from repro.core.tuner import DynamicTuner, FrameProfile, OfflineAnalysis, TuningDecision
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.frame import Frame
+from repro.graph.snapshot import GraphSnapshot
+from repro.gpu.timeline import TimelineOp
+from repro.nn.context import ExecutionContext
+
+#: per-snapshot activation-memory amplification used by the tuner's OOM check
+_ACTIVATION_FACTOR = 4.0
+
+
+class PiPADTrainer(DGNNTrainerBase):
+    """End-to-end PiPAD training on the simulated device."""
+
+    method_name = "PiPAD"
+    kernel_name = "coo"  # only used for the canonical preparing epochs
+    adjacency_format = "coo"
+    async_transfer = True
+    use_reuse = True
+    use_cuda_graph = True
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        config: Optional[TrainerConfig] = None,
+        pipad_config: Optional[PiPADConfig] = None,
+    ) -> None:
+        self.pipad = pipad_config or PiPADConfig()
+        # Mirror the ablation switches onto the knobs the base class reads.
+        self.use_reuse = self.pipad.enable_inter_frame_reuse
+        self.async_transfer = self.pipad.enable_pipeline
+        self.use_cuda_graph = self.pipad.use_cuda_graph
+        super().__init__(graph, config)
+
+        self.reuse = ReuseManager(
+            self.device,
+            enabled=self.pipad.enable_inter_frame_reuse,
+            gpu_buffer_fraction=self.pipad.gpu_reuse_buffer_fraction,
+        )
+        self.cache = self.reuse if self.pipad.enable_inter_frame_reuse else None
+        self.slicer = GraphSlicer(self.pipad.slice_capacity, self.config.host)
+        self.preparer = DataPreparer(
+            self.pipad.slice_capacity, self.config.host, use_sliced_csr=self.pipad.use_sliced_csr
+        )
+        candidates = self._candidate_s_per()
+        self.tuner = DynamicTuner(
+            self.config.gpu,
+            candidates,
+            memory_safety_fraction=self.pipad.memory_safety_fraction,
+            analysis=OfflineAnalysis(spec=self.config.gpu),
+            feature_dim=self.graph.feature_dim,
+        )
+        self._frame_s_per: Dict[int, int] = {}
+        self._tuning_decisions: List[TuningDecision] = []
+        self._preparing = self.pipad.preparing_epochs > 0
+        self._preprocessed = False
+        self._epochs_run = 0
+        self._hidden_dim = self.model.hidden_features
+
+    # ------------------------------------------------------------------ setup
+    def _candidate_s_per(self) -> Tuple[int, ...]:
+        if self.pipad.fixed_s_per is not None:
+            return (self.pipad.fixed_s_per,)
+        candidates = tuple(self.pipad.s_per_candidates)
+        max_s_per = self.graph.metadata.get("max_s_per")
+        if max_s_per:
+            capped = tuple(c for c in candidates if c <= int(max_s_per))
+            candidates = capped or (int(max_s_per),)
+        return candidates
+
+    # ------------------------------------------------------------------ preprocessing & tuning
+    def _per_snapshot_bytes(self) -> Tuple[float, float]:
+        """(transfer bytes, memory footprint bytes) per snapshot, extrapolated."""
+        snapshots = self.graph.snapshots
+        features = float(np.mean([s.feature_bytes() for s in snapshots]))
+        adjacency = float(np.mean([s.adjacency.nbytes for s in snapshots]))
+        activations = (
+            self.graph.num_nodes
+            * (self.graph.feature_dim + self._hidden_dim)
+            * 4.0
+            * _ACTIVATION_FACTOR
+        )
+        transfer = (features + adjacency) * self.scale
+        footprint = (features + adjacency + activations * self.config.frame_size / 2.0) * self.scale
+        return transfer, footprint
+
+    def _frame_activation_bytes(self) -> float:
+        return (
+            self.config.frame_size
+            * self.graph.num_nodes
+            * self._hidden_dim
+            * 4.0
+            * _ACTIVATION_FACTOR
+            * self.scale
+        )
+
+    def _measured_per_snapshot_compute(self) -> float:
+        """Average per-snapshot kernel seconds observed so far (preparing epochs)."""
+        total = sum(stats.seconds for stats in self.device.kernel_stats.values())
+        executed = max(1, self._epochs_run) * self.frames.num_frames * self.config.frame_size
+        if total <= 0:
+            # No preparing epoch ran: fall back to a coarse analytic estimate.
+            return 5e-4 * self.scale / max(1.0, self.scale)
+        return total / executed
+
+    def _run_preprocessing(self) -> None:
+        """Graph slicing, overlap extraction and per-frame tuning (one-off)."""
+        # Slicing every snapshot once (host work, overlapped with training).
+        slicing_seconds = sum(
+            self.slicer.conversion_seconds(s.adjacency) for s in self.graph.snapshots
+        )
+        self.slicer.total_host_seconds += slicing_seconds
+        self.device.host_op(slicing_seconds, label="graph_slicing", stream="cpu_prep")
+
+        transfer_bytes, footprint_bytes = self._per_snapshot_bytes()
+        compute_seconds = self._measured_per_snapshot_compute()
+        frame_activation = self._frame_activation_bytes()
+
+        for frame in self.frames:
+            overlap_rates: Dict[int, float] = {}
+            for candidate in self.tuner.candidates:
+                before = self.preparer.total_extraction_seconds
+                partitions = self.preparer.prepare_frame(list(frame.snapshots), candidate)
+                extraction_delta = self.preparer.total_extraction_seconds - before
+                if extraction_delta > 0:
+                    self.device.host_op(
+                        extraction_delta,
+                        label=f"overlap_extraction_f{frame.index}_s{candidate}",
+                        stream="cpu_prep",
+                    )
+                overlap_rates[candidate] = float(
+                    np.mean([p.overlap_rate for p in partitions])
+                )
+            profile = FrameProfile(
+                frame_index=frame.index,
+                overlap_rate_per_candidate=overlap_rates,
+                per_snapshot_compute_seconds=compute_seconds,
+                per_snapshot_transfer_bytes=transfer_bytes,
+                per_snapshot_footprint_bytes=footprint_bytes,
+                frame_activation_bytes=frame_activation,
+            )
+            decision = self.tuner.decide(
+                profile, pcie_bandwidth_gbs=self.config.pcie.bandwidth_gbs
+            )
+            if self.pipad.fixed_s_per is not None:
+                decision = TuningDecision(
+                    frame_index=frame.index,
+                    s_per=self.pipad.fixed_s_per,
+                    estimated_speedup=decision.estimated_speedup,
+                    overlap_rate=decision.overlap_rate,
+                    reason="fixed by configuration",
+                )
+            self._frame_s_per[frame.index] = decision.s_per
+            self._tuning_decisions.append(decision)
+        self._preprocessed = True
+
+    # ------------------------------------------------------------------ frame execution overrides
+    def _make_partitions(self, frame: Frame) -> List[Tuple[GraphSnapshot, ...]]:
+        if self._preparing:
+            return super()._make_partitions(frame)
+        s_per = self._frame_s_per.get(frame.index, self.tuner.candidates[0])
+        return [
+            tuple(frame.snapshots[start : start + s_per])
+            for start in range(0, frame.size, s_per)
+        ]
+
+    def _make_provider(self, snapshots: Sequence[GraphSnapshot]):
+        if self._preparing:
+            return super()._make_provider(snapshots)
+        partition = self.preparer.prepare(snapshots)
+        return ParallelAggregationProvider(
+            partition,
+            spec=self.config.gpu,
+            scale=self.scale,
+            cache=self.cache,
+            reusable_layers=self.model.reusable_aggregation_layers if self.use_reuse else (),
+            slice_capacity=self.pipad.slice_capacity,
+            use_sliced_csr=self.pipad.use_sliced_csr,
+        )
+
+    def _partition_context(self, snapshots: Sequence[GraphSnapshot]) -> ExecutionContext:
+        if self._preparing:
+            return self.context
+        reuse_group = 1
+        if self.pipad.enable_weight_reuse and not self.model.evolves_weights:
+            reuse_group = len(snapshots)
+        return self.context.with_reuse_group(reuse_group)
+
+    def _before_frame(self, frame: Frame, epoch: int) -> None:
+        if self._preparing or self.cache is None:
+            return
+        # Keep the aggregation results this frame will consume resident on the
+        # GPU-side buffer (capacity permitting), in use order.
+        agg_bytes = int(
+            self.graph.num_nodes * self.graph.feature_dim * 4 * self.scale
+        )
+        timesteps = [s.timestep for s in frame.snapshots]
+        self.reuse.plan_gpu_residency(timesteps, {t: agg_bytes for t in timesteps})
+
+    def _partition_transfer_bytes(self, snapshots: Sequence[GraphSnapshot]) -> float:
+        partition = self.preparer.prepare(snapshots)
+        nbytes = 0.0
+        topology_needed = False
+        for snapshot in snapshots:
+            cached = self.reuse.has_cached(snapshot.timestep) if self.cache is not None else False
+            if cached:
+                if not self.reuse.is_gpu_resident(snapshot.timestep):
+                    # Ship the cached aggregation result instead of raw features.
+                    nbytes += snapshot.num_nodes * snapshot.feature_dim * 4
+                if self.model.needs_topology_with_reuse:
+                    topology_needed = True
+            else:
+                nbytes += snapshot.feature_bytes()
+                topology_needed = True
+            nbytes += snapshot.num_nodes * 4  # targets
+        if topology_needed:
+            nbytes += partition.adjacency_bytes
+        return nbytes * self.scale
+
+    def _transfer_partition(
+        self,
+        snapshots: Sequence[GraphSnapshot],
+        depends_on: Optional[Sequence[TimelineOp]],
+    ) -> List[TimelineOp]:
+        if self._preparing:
+            return super()._transfer_partition(snapshots, depends_on)
+        host_op = self.device.host_op(
+            self._host_prep_seconds(snapshots), label="host_prep", stream="cpu"
+        )
+        nbytes = self._partition_transfer_bytes(snapshots)
+        stream = "copy" if self.pipad.enable_pipeline else "default"
+        transfer = self.device.transfer_h2d(
+            nbytes,
+            label=f"h2d_p{snapshots[0].timestep}",
+            stream=stream,
+            pinned=self.pipad.enable_pipeline,
+            depends_on=[host_op] if depends_on is None else [host_op, *depends_on],
+        )
+        return [transfer]
+
+    def _compute_stream(self) -> str:
+        if self._preparing:
+            return super()._compute_stream()
+        return "compute" if self.pipad.enable_pipeline else "default"
+
+    # ------------------------------------------------------------------ epochs
+    def run_epoch(self, epoch: int) -> EpochMetrics:
+        self._preparing = self._epochs_run < self.pipad.preparing_epochs
+        if not self._preparing and not self._preprocessed:
+            self._run_preprocessing()
+        metrics = super().run_epoch(epoch)
+        self._epochs_run += 1
+        return metrics
+
+    def _extra_metrics(self) -> Dict[str, float]:
+        extras: Dict[str, float] = dict(self.reuse.stats()) if self.cache is not None else {}
+        extras["slicing_host_seconds"] = self.slicer.total_host_seconds
+        extras["extraction_host_seconds"] = self.preparer.total_extraction_seconds
+        if self._tuning_decisions:
+            extras["mean_s_per"] = float(np.mean([d.s_per for d in self._tuning_decisions]))
+            extras["mean_estimated_speedup"] = float(
+                np.mean([d.estimated_speedup for d in self._tuning_decisions])
+            )
+        return extras
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def tuning_decisions(self) -> List[TuningDecision]:
+        return list(self._tuning_decisions)
+
+    def chosen_s_per(self) -> Dict[int, int]:
+        return dict(self._frame_s_per)

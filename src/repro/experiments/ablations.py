@@ -1,0 +1,62 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+Each ablation trains PiPAD with one optimization disabled (or a parameter
+fixed) and reports the slowdown relative to the full configuration; this is
+the per-mechanism evidence backing the end-to-end Fig. 10 numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core import PiPADConfig, PiPADTrainer
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    load_experiment_graph,
+    trainer_config,
+)
+
+#: named ablation configurations (None values mean "use the full default")
+ABLATIONS: Dict[str, PiPADConfig] = {
+    "full": PiPADConfig(),
+    "no_reuse": PiPADConfig(enable_inter_frame_reuse=False),
+    "no_weight_reuse": PiPADConfig(enable_weight_reuse=False),
+    "no_pipeline": PiPADConfig(enable_pipeline=False),
+    "no_cuda_graph": PiPADConfig(use_cuda_graph=False),
+    "plain_csr": PiPADConfig(use_sliced_csr=False),
+    "fixed_s_per_2": PiPADConfig(fixed_s_per=2),
+}
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    dataset: str = "hepth",
+    model: str = "tgcn",
+) -> Dict[str, Dict[str, float]]:
+    """Steady-state epoch time of each ablated PiPAD configuration."""
+    config = config or ExperimentConfig()
+    graph = load_experiment_graph(dataset, config)
+    rows: Dict[str, Dict[str, float]] = {}
+    baseline_seconds = None
+    for name, pipad_cfg in ABLATIONS.items():
+        pipad_cfg = PiPADConfig(
+            **{**pipad_cfg.__dict__, "preparing_epochs": config.preparing_epochs}
+        )
+        result = PiPADTrainer(graph, trainer_config(config, model), pipad_cfg).train()
+        seconds = result.steady_epoch_seconds
+        if name == "full":
+            baseline_seconds = seconds
+        rows[name] = {"epoch_seconds": seconds}
+    for name, row in rows.items():
+        row["slowdown_vs_full"] = (
+            row["epoch_seconds"] / baseline_seconds if baseline_seconds else 1.0
+        )
+    return rows
+
+
+def format_result(rows: Dict[str, Dict[str, float]]) -> str:
+    headers = ["configuration", "epoch seconds", "slowdown vs full"]
+    body = [[name, row["epoch_seconds"], row["slowdown_vs_full"]] for name, row in rows.items()]
+    return format_table(headers, body, float_fmt="{:.4f}")

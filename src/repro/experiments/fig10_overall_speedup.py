@@ -1,0 +1,55 @@
+"""Fig. 10: end-to-end training speedup over PyGT for all methods.
+
+One row per (model, dataset): the steady-state per-epoch training time of
+each method and its speedup over the PyGT baseline.  Table 2's GPU
+utilization is produced from the same runs by
+:mod:`repro.experiments.table2_gpu_utilization`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.results import TrainingResult
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    load_experiment_graph,
+    run_method,
+)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Dict[str, Dict[str, TrainingResult]]:
+    """Train every (method, model, dataset) combination of the sweep."""
+    config = config or ExperimentConfig()
+    rows: Dict[str, Dict[str, TrainingResult]] = {}
+    for dataset in config.datasets:
+        graph = load_experiment_graph(dataset, config)
+        for model in config.models:
+            results: Dict[str, TrainingResult] = {}
+            for method in config.methods:
+                results[method] = run_method(method, graph, model, config)
+            rows[f"{model}/{dataset}"] = results
+    return rows
+
+
+def speedups(rows: Dict[str, Dict[str, TrainingResult]]) -> Dict[str, Dict[str, float]]:
+    """Per-combination speedup of every method over PyGT (steady-state epochs)."""
+    table: Dict[str, Dict[str, float]] = {}
+    for key, results in rows.items():
+        baseline = results.get("PyGT")
+        if baseline is None:
+            continue
+        table[key] = {
+            method: baseline.steady_epoch_seconds / max(result.steady_epoch_seconds, 1e-12)
+            for method, result in results.items()
+        }
+    return table
+
+
+def format_result(rows: Dict[str, Dict[str, TrainingResult]]) -> str:
+    table = speedups(rows)
+    methods = sorted({m for row in table.values() for m in row}, key=str)
+    headers = ["model/dataset"] + methods
+    body = [[key] + [row.get(m, float("nan")) for m in methods] for key, row in table.items()]
+    return format_table(headers, body, float_fmt="{:.2f}")

@@ -1,0 +1,27 @@
+"""Table 2: GPU utilization (%) of the different methods."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments import fig10_overall_speedup
+from repro.experiments.common import ExperimentConfig, format_table
+
+
+def run(config: Optional[ExperimentConfig] = None) -> Dict[str, Dict[str, float]]:
+    """GPU utilization of every (method, model, dataset) combination."""
+    config = config or ExperimentConfig()
+    results = fig10_overall_speedup.run(config)
+    rows: Dict[str, Dict[str, float]] = {}
+    for key, method_results in results.items():
+        rows[key] = {
+            method: result.gpu_utilization * 100.0 for method, result in method_results.items()
+        }
+    return rows
+
+
+def format_result(rows: Dict[str, Dict[str, float]]) -> str:
+    methods = sorted({m for row in rows.values() for m in row}, key=str)
+    headers = ["model/dataset"] + methods
+    body = [[key] + [row.get(m, float("nan")) for m in methods] for key, row in rows.items()]
+    return format_table(headers, body, float_fmt="{:.1f}")

@@ -1,0 +1,84 @@
+"""Simulated GPU: specs, cost models, timeline, device and profiler."""
+
+from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
+from repro.gpu.kernel_cost import (
+    CATEGORIES,
+    CATEGORY_AGGREGATION,
+    CATEGORY_ELEMENTWISE,
+    CATEGORY_OTHER,
+    CATEGORY_RNN,
+    CATEGORY_UPDATE,
+    KernelCost,
+    summarize_costs,
+)
+from repro.gpu.memory_model import (
+    FLOAT_BYTES,
+    RowAccessCost,
+    classify_dimension,
+    contiguous_bytes_cost,
+    row_access,
+)
+from repro.gpu.warp_model import (
+    MAX_COALESCE_NUM,
+    WarpEfficiencyReport,
+    baseline_active_thread_ratio,
+    choose_coalesce_num,
+    coalesced_active_thread_ratio,
+    warp_efficiency_report,
+)
+from repro.gpu.load_balance import (
+    LoadBalanceReport,
+    analyze_block_work,
+    block_work_from_row_nnz,
+    block_work_from_slice_nnz,
+)
+from repro.gpu.timeline import (
+    RESOURCE_COMPUTE,
+    RESOURCE_CPU,
+    RESOURCE_PCIE_D2H,
+    RESOURCE_PCIE_H2D,
+    Timeline,
+    TimelineOp,
+)
+from repro.gpu.device import KernelStats, OutOfMemoryError, SimulatedGPU
+from repro.gpu.profiler import KernelCostCollector, estimate_event_cost
+
+__all__ = [
+    "GPUSpec",
+    "HostSpec",
+    "PCIeSpec",
+    "CATEGORIES",
+    "CATEGORY_AGGREGATION",
+    "CATEGORY_ELEMENTWISE",
+    "CATEGORY_OTHER",
+    "CATEGORY_RNN",
+    "CATEGORY_UPDATE",
+    "KernelCost",
+    "summarize_costs",
+    "FLOAT_BYTES",
+    "RowAccessCost",
+    "classify_dimension",
+    "contiguous_bytes_cost",
+    "row_access",
+    "MAX_COALESCE_NUM",
+    "WarpEfficiencyReport",
+    "baseline_active_thread_ratio",
+    "choose_coalesce_num",
+    "coalesced_active_thread_ratio",
+    "warp_efficiency_report",
+    "LoadBalanceReport",
+    "analyze_block_work",
+    "block_work_from_row_nnz",
+    "block_work_from_slice_nnz",
+    "RESOURCE_COMPUTE",
+    "RESOURCE_CPU",
+    "RESOURCE_PCIE_D2H",
+    "RESOURCE_PCIE_H2D",
+    "Timeline",
+    "TimelineOp",
+    "KernelStats",
+    "OutOfMemoryError",
+    "SimulatedGPU",
+    "KernelCostCollector",
+    "estimate_event_cost",
+]

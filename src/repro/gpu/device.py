@@ -1,0 +1,262 @@
+"""The simulated GPU device.
+
+:class:`SimulatedGPU` is the single object trainers talk to: it owns the
+hardware specs, the event timeline, the memory-capacity ledger and the
+per-category kernel statistics.  Kernels are *not* executed here — numerics
+run in NumPy inside :mod:`repro.kernels` / :mod:`repro.tensor`; the device
+only accounts for what the same work would cost on the modelled hardware and
+when it would run given stream ordering and resource contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpu.kernel_cost import CATEGORIES, KernelCost
+from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
+from repro.gpu.timeline import (
+    RESOURCE_COMPUTE,
+    RESOURCE_CPU,
+    RESOURCE_PCIE_D2H,
+    RESOURCE_PCIE_H2D,
+    Timeline,
+    TimelineOp,
+)
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a simulated allocation exceeds the device memory capacity."""
+
+
+@dataclass
+class KernelStats:
+    """Accumulated per-category kernel statistics."""
+
+    seconds: float = 0.0
+    launches: int = 0
+    flops: float = 0.0
+    mem_requests: float = 0.0
+    mem_transactions: float = 0.0
+    balanced_seconds: float = 0.0
+    weighted_thread_ratio: float = 0.0  # sum(ratio * seconds)
+
+
+class SimulatedGPU:
+    """Analytic single-GPU device with streams, PCIe link and memory ledger."""
+
+    def __init__(
+        self,
+        spec: Optional[GPUSpec] = None,
+        pcie: Optional[PCIeSpec] = None,
+        host: Optional[HostSpec] = None,
+        *,
+        use_cuda_graph: bool = False,
+    ) -> None:
+        self.spec = spec or GPUSpec()
+        self.pcie = pcie or PCIeSpec()
+        self.host = host or HostSpec()
+        self.use_cuda_graph = use_cuda_graph
+        self.timeline = Timeline()
+        self._allocated_bytes = 0
+        self._peak_bytes = 0
+        self._allocations: Dict[str, int] = {}
+        self.kernel_stats: Dict[str, KernelStats] = {cat: KernelStats() for cat in CATEGORIES}
+
+    # ------------------------------------------------------------------ memory
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak_bytes
+
+    def malloc(self, name: str, nbytes: int) -> None:
+        """Reserve device memory; raises :class:`OutOfMemoryError` on overflow."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if self._allocated_bytes + nbytes > self.spec.memory_bytes:
+            raise OutOfMemoryError(
+                f"allocating {nbytes / 1e6:.1f} MB for {name!r} exceeds device capacity "
+                f"({self.spec.memory_gb} GB, {self._allocated_bytes / 1e6:.1f} MB in use)"
+            )
+        self._allocations[name] = nbytes
+        self._allocated_bytes += nbytes
+        self._peak_bytes = max(self._peak_bytes, self._allocated_bytes)
+
+    def free(self, name: str) -> None:
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        self._allocated_bytes -= self._allocations.pop(name)
+
+    def free_all(self) -> None:
+        self._allocations.clear()
+        self._allocated_bytes = 0
+
+    def would_fit(self, nbytes: int) -> bool:
+        return self._allocated_bytes + nbytes <= self.spec.memory_bytes
+
+    # ------------------------------------------------------------------ ops
+    def transfer_h2d(
+        self,
+        nbytes: float,
+        *,
+        label: str = "h2d",
+        stream: str = "copy",
+        pinned: bool = True,
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+    ) -> TimelineOp:
+        """Schedule a host→device copy of ``nbytes``."""
+        duration = self.pcie.transfer_seconds(nbytes, pinned=pinned)
+        return self.timeline.submit(
+            label=label,
+            kind="h2d",
+            resource=RESOURCE_PCIE_H2D,
+            duration=duration,
+            stream=stream,
+            depends_on=depends_on,
+            attrs={"bytes": float(nbytes), "pinned": pinned},
+        )
+
+    def transfer_d2h(
+        self,
+        nbytes: float,
+        *,
+        label: str = "d2h",
+        stream: str = "copy_back",
+        pinned: bool = True,
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+    ) -> TimelineOp:
+        """Schedule a device→host copy of ``nbytes``."""
+        duration = self.pcie.transfer_seconds(nbytes, pinned=pinned)
+        return self.timeline.submit(
+            label=label,
+            kind="d2h",
+            resource=RESOURCE_PCIE_D2H,
+            duration=duration,
+            stream=stream,
+            depends_on=depends_on,
+            attrs={"bytes": float(nbytes), "pinned": pinned},
+        )
+
+    def launch_kernel(
+        self,
+        cost: KernelCost,
+        *,
+        label: Optional[str] = None,
+        stream: str = "compute",
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+        use_cuda_graph: Optional[bool] = None,
+    ) -> TimelineOp:
+        """Schedule one kernel (or a fused group described by a single cost)."""
+        graph_mode = self.use_cuda_graph if use_cuda_graph is None else use_cuda_graph
+        per_launch_us = (
+            self.spec.cudagraph_launch_overhead_us if graph_mode else self.spec.kernel_launch_overhead_us
+        )
+        duration = cost.execution_seconds(self.spec) + cost.launches * per_launch_us * 1e-6
+        op = self.timeline.submit(
+            label=label or cost.name,
+            kind="kernel",
+            resource=RESOURCE_COMPUTE,
+            duration=duration,
+            stream=stream,
+            depends_on=depends_on,
+            attrs={"category": cost.category, "launches": cost.launches},
+        )
+        stats = self.kernel_stats[cost.category]
+        exec_seconds = cost.execution_seconds(self.spec)
+        stats.seconds += exec_seconds
+        stats.launches += cost.launches
+        stats.flops += cost.flops
+        stats.mem_requests += cost.mem_requests
+        stats.mem_transactions += cost.mem_transactions
+        stats.balanced_seconds += cost.balanced_seconds(self.spec)
+        stats.weighted_thread_ratio += cost.active_thread_ratio * max(exec_seconds, 1e-12)
+        return op
+
+    def launch_kernels(
+        self,
+        costs: Sequence[KernelCost],
+        *,
+        label: str = "kernel_batch",
+        stream: str = "compute",
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+        use_cuda_graph: Optional[bool] = None,
+    ) -> List[TimelineOp]:
+        """Schedule a sequence of kernels back-to-back on one stream."""
+        ops: List[TimelineOp] = []
+        deps = depends_on
+        for i, cost in enumerate(costs):
+            op = self.launch_kernel(
+                cost,
+                label=f"{label}[{i}]:{cost.name}",
+                stream=stream,
+                depends_on=deps,
+                use_cuda_graph=use_cuda_graph,
+            )
+            deps = [op]
+            ops.append(op)
+        return ops
+
+    def host_op(
+        self,
+        seconds: float,
+        *,
+        label: str = "host",
+        stream: str = "cpu",
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+    ) -> TimelineOp:
+        """Schedule CPU-side work (graph slicing, preparation, dispatch)."""
+        return self.timeline.submit(
+            label=label,
+            kind="cpu",
+            resource=RESOURCE_CPU,
+            duration=seconds,
+            stream=stream,
+            depends_on=depends_on,
+        )
+
+    # ------------------------------------------------------------------ metrics
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock time so far (timeline makespan)."""
+        return self.timeline.makespan()
+
+    def gpu_utilization(self) -> float:
+        return self.timeline.gpu_utilization()
+
+    def sm_utilization(self) -> float:
+        return self.timeline.sm_utilization()
+
+    def breakdown(self) -> Dict[str, float]:
+        """Seconds per op kind plus derived utilization figures."""
+        result = self.timeline.kind_seconds()
+        result["makespan"] = self.elapsed_seconds()
+        result["gpu_utilization"] = self.gpu_utilization()
+        result["sm_utilization"] = self.sm_utilization()
+        return result
+
+    def category_seconds(self) -> Dict[str, float]:
+        return {cat: stats.seconds for cat, stats in self.kernel_stats.items()}
+
+    def average_thread_ratio(self, categories: Optional[Sequence[str]] = None) -> float:
+        """Execution-time-weighted warp execution efficiency."""
+        cats = list(categories) if categories else list(CATEGORIES)
+        weighted = sum(self.kernel_stats[c].weighted_thread_ratio for c in cats)
+        seconds = sum(max(self.kernel_stats[c].seconds, 0.0) for c in cats)
+        return weighted / seconds if seconds > 0 else 1.0
+
+    def memory_statistics(self) -> Dict[str, float]:
+        return {
+            "requests": sum(s.mem_requests for s in self.kernel_stats.values()),
+            "transactions": sum(s.mem_transactions for s in self.kernel_stats.values()),
+        }
+
+    def reset(self) -> None:
+        """Clear the timeline, memory ledger and statistics (specs persist)."""
+        self.timeline.reset()
+        self.free_all()
+        self._peak_bytes = 0
+        self.kernel_stats = {cat: KernelStats() for cat in CATEGORIES}

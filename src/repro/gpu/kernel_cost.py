@@ -1,0 +1,182 @@
+"""Kernel cost records and the analytic execution-time model.
+
+Every kernel in :mod:`repro.kernels` (and every generic dense op observed by
+the profiler) produces a :class:`KernelCost`.  The simulated device converts
+a cost into execution time with a roofline-style model:
+
+``time = max(compute_time, memory_time) * imbalance``
+
+where compute throughput is de-rated by the kernel's active-thread ratio
+(warp execution efficiency) and memory time is driven by the number of
+32-byte transactions — the quantity the paper's memory-inefficiency analysis
+(§3.2, Fig. 5, Fig. 11a) is framed around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional
+
+from repro.gpu.spec import GPUSpec
+
+#: canonical kernel categories used by the breakdown figures
+CATEGORY_AGGREGATION = "aggregation"
+CATEGORY_UPDATE = "update"
+CATEGORY_RNN = "rnn"
+CATEGORY_ELEMENTWISE = "elementwise"
+CATEGORY_OTHER = "other"
+CATEGORIES = (
+    CATEGORY_AGGREGATION,
+    CATEGORY_UPDATE,
+    CATEGORY_RNN,
+    CATEGORY_ELEMENTWISE,
+    CATEGORY_OTHER,
+)
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Hardware cost of one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (e.g. ``"spmm_sliced_parallel"``).
+    category:
+        One of :data:`CATEGORIES`; drives the Fig. 4 compute breakdown.
+    flops:
+        Floating-point operations executed.
+    global_read_bytes / global_write_bytes:
+        Useful bytes moved from/to global memory.
+    mem_requests / mem_transactions:
+        Warp-level requests and 32-byte transactions issued for global
+        memory traffic (the Fig. 5 / Fig. 11a metrics).
+    active_thread_ratio:
+        Average fraction of active threads per warp
+        (``warp_execution_efficiency``), in (0, 1].
+    imbalance:
+        Ratio of actual to perfectly balanced execution time (>= 1); the gap
+        Fig. 12 visualizes.
+    num_blocks:
+        Thread blocks launched (used for the Balanced estimate).
+    shared_mem_bytes:
+        Shared-memory working set (informational).
+    launches:
+        Number of device kernel launches this cost represents.
+    bandwidth_efficiency:
+        Fraction of the device's sustained bandwidth this kernel's access
+        pattern achieves (irregular gather/scatter ≪ 1, coalesced streaming
+        ≈ 1).  This is the knob that separates the PyG, GE-SpMM and PiPAD
+        aggregation kernels beyond raw transaction counts.
+    """
+
+    name: str
+    category: str = CATEGORY_OTHER
+    flops: float = 0.0
+    global_read_bytes: float = 0.0
+    global_write_bytes: float = 0.0
+    mem_requests: float = 0.0
+    mem_transactions: float = 0.0
+    active_thread_ratio: float = 1.0
+    imbalance: float = 1.0
+    num_blocks: int = 1
+    shared_mem_bytes: float = 0.0
+    launches: int = 1
+    bandwidth_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown category {self.category!r}; expected one of {CATEGORIES}")
+        if not 0.0 < self.active_thread_ratio <= 1.0:
+            raise ValueError(f"active_thread_ratio must be in (0, 1], got {self.active_thread_ratio}")
+        if self.imbalance < 1.0:
+            raise ValueError(f"imbalance must be >= 1, got {self.imbalance}")
+        for attr in ("flops", "global_read_bytes", "global_write_bytes", "mem_requests", "mem_transactions"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0")
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ValueError(
+                f"bandwidth_efficiency must be in (0, 1], got {self.bandwidth_efficiency}"
+            )
+
+    # -- time model ---------------------------------------------------------
+    def compute_seconds(self, spec: GPUSpec) -> float:
+        """Time the arithmetic would take at de-rated peak throughput."""
+        if self.flops == 0:
+            return 0.0
+        return self.flops / (spec.peak_flops * self.active_thread_ratio)
+
+    def memory_seconds(self, spec: GPUSpec) -> float:
+        """Time the global-memory traffic takes at sustained bandwidth."""
+        bytes_moved = self.mem_transactions * spec.transaction_bytes
+        bytes_moved = max(bytes_moved, self.global_read_bytes + self.global_write_bytes)
+        if bytes_moved == 0:
+            return 0.0
+        return bytes_moved / (spec.effective_bandwidth * self.bandwidth_efficiency)
+
+    def execution_seconds(self, spec: GPUSpec) -> float:
+        """Roofline execution time (excluding launch overhead)."""
+        return max(self.compute_seconds(spec), self.memory_seconds(spec)) * self.imbalance
+
+    def balanced_seconds(self, spec: GPUSpec) -> float:
+        """Ideal perfectly-load-balanced execution time (Fig. 12 "Balanced")."""
+        return max(self.compute_seconds(spec), self.memory_seconds(spec))
+
+    # -- algebra ------------------------------------------------------------
+    def scaled(self, factor: float) -> "KernelCost":
+        """Scale all extensive quantities by ``factor`` (workload extrapolation)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be > 0")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            global_read_bytes=self.global_read_bytes * factor,
+            global_write_bytes=self.global_write_bytes * factor,
+            mem_requests=self.mem_requests * factor,
+            mem_transactions=self.mem_transactions * factor,
+            num_blocks=max(1, int(round(self.num_blocks * factor))),
+        )
+
+    def merged_with(self, other: "KernelCost", name: Optional[str] = None) -> "KernelCost":
+        """Combine two costs into one record (used for fused kernels)."""
+        total_time_weight = self.flops + other.flops + 1e-30
+        ratio = (
+            self.active_thread_ratio * (self.flops + 1e-30)
+            + other.active_thread_ratio * (other.flops + 1e-30)
+        ) / total_time_weight
+        return KernelCost(
+            name=name or f"{self.name}+{other.name}",
+            category=self.category if self.category == other.category else CATEGORY_OTHER,
+            flops=self.flops + other.flops,
+            global_read_bytes=self.global_read_bytes + other.global_read_bytes,
+            global_write_bytes=self.global_write_bytes + other.global_write_bytes,
+            mem_requests=self.mem_requests + other.mem_requests,
+            mem_transactions=self.mem_transactions + other.mem_transactions,
+            active_thread_ratio=min(1.0, max(ratio, 1e-3)),
+            imbalance=max(self.imbalance, other.imbalance),
+            num_blocks=self.num_blocks + other.num_blocks,
+            shared_mem_bytes=max(self.shared_mem_bytes, other.shared_mem_bytes),
+            launches=self.launches + other.launches,
+            bandwidth_efficiency=min(self.bandwidth_efficiency, other.bandwidth_efficiency),
+        )
+
+
+def summarize_costs(costs: Iterable[KernelCost], spec: GPUSpec) -> Dict[str, float]:
+    """Aggregate a stream of kernel costs into per-category seconds and totals."""
+    summary: Dict[str, float] = {f"{cat}_seconds": 0.0 for cat in CATEGORIES}
+    summary.update(
+        total_seconds=0.0,
+        total_flops=0.0,
+        total_requests=0.0,
+        total_transactions=0.0,
+        total_launches=0,
+    )
+    for cost in costs:
+        seconds = cost.execution_seconds(spec)
+        summary[f"{cost.category}_seconds"] += seconds
+        summary["total_seconds"] += seconds
+        summary["total_flops"] += cost.flops
+        summary["total_requests"] += cost.mem_requests
+        summary["total_transactions"] += cost.mem_transactions
+        summary["total_launches"] += cost.launches
+    return summary

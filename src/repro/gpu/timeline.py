@@ -1,0 +1,156 @@
+"""Event timeline of the simulated device.
+
+The timeline is a resource-constrained list scheduler: every operation is
+bound to one *resource* (the GPU compute engine, the PCIe copy engine, or the
+host CPU), belongs to one *stream* (a FIFO ordering constraint, mirroring
+CUDA streams) and may depend on previously submitted operations.  An
+operation starts as soon as its resource is free, all ops before it in its
+stream have finished and all its dependencies have finished; this is enough
+to reproduce the overlap behaviour the paper's pipeline (Fig. 8) relies on —
+asynchronous transfers hiding behind kernels, partition ``k+1`` transfers
+overlapping partition ``k`` compute, CPU-side preparation overlapping both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: canonical resources
+RESOURCE_COMPUTE = "compute"
+RESOURCE_PCIE_H2D = "pcie_h2d"
+RESOURCE_PCIE_D2H = "pcie_d2h"
+RESOURCE_CPU = "cpu"
+RESOURCES = (RESOURCE_COMPUTE, RESOURCE_PCIE_H2D, RESOURCE_PCIE_D2H, RESOURCE_CPU)
+
+
+@dataclass(frozen=True)
+class TimelineOp:
+    """One scheduled operation."""
+
+    op_id: int
+    label: str
+    kind: str
+    resource: str
+    stream: str
+    start: float
+    end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Collects operations and exposes busy-time / utilization statistics."""
+
+    def __init__(self) -> None:
+        self._ops: List[TimelineOp] = []
+        self._resource_free: Dict[str, float] = {}
+        self._stream_free: Dict[str, float] = {}
+        self._next_id = 0
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        *,
+        label: str,
+        kind: str,
+        resource: str,
+        duration: float,
+        stream: str = "default",
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> TimelineOp:
+        """Schedule an operation and return its placed record."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        ready = 0.0
+        if depends_on:
+            ready = max(ready, max(op.end for op in depends_on))
+        ready = max(ready, self._stream_free.get(stream, 0.0))
+        start = max(ready, self._resource_free.get(resource, 0.0))
+        end = start + duration
+        op = TimelineOp(
+            op_id=self._next_id,
+            label=label,
+            kind=kind,
+            resource=resource,
+            stream=stream,
+            start=start,
+            end=end,
+            attrs=dict(attrs or {}),
+        )
+        self._next_id += 1
+        self._ops.append(op)
+        self._resource_free[resource] = end
+        self._stream_free[stream] = end
+        return op
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def ops(self) -> List[TimelineOp]:
+        return list(self._ops)
+
+    def makespan(self) -> float:
+        """End time of the last scheduled operation."""
+        return max((op.end for op in self._ops), default=0.0)
+
+    def busy_time(self, resources: Iterable[str]) -> float:
+        """Union length of busy intervals across the given resources."""
+        intervals = sorted(
+            (op.start, op.end) for op in self._ops if op.resource in set(resources) and op.duration > 0
+        )
+        if not intervals:
+            return 0.0
+        busy = 0.0
+        cur_start, cur_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start > cur_end:
+                busy += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        busy += cur_end - cur_start
+        return busy
+
+    def resource_seconds(self, resource: str) -> float:
+        """Total scheduled duration on one resource (no union — FIFO resource)."""
+        return sum(op.duration for op in self._ops if op.resource == resource)
+
+    def kind_seconds(self) -> Dict[str, float]:
+        """Total duration per operation kind."""
+        totals: Dict[str, float] = {}
+        for op in self._ops:
+            totals[op.kind] = totals.get(op.kind, 0.0) + op.duration
+        return totals
+
+    def gpu_utilization(self) -> float:
+        """Fraction of the makespan during which the GPU is busy.
+
+        Mirrors ``nvidia-smi`` utilization as used for Table 2: time with any
+        kernel *or* device copy engine active counts as busy.
+        """
+        total = self.makespan()
+        if total == 0:
+            return 0.0
+        busy = self.busy_time([RESOURCE_COMPUTE, RESOURCE_PCIE_H2D, RESOURCE_PCIE_D2H])
+        return min(1.0, busy / total)
+
+    def sm_utilization(self) -> float:
+        """Fraction of the makespan during which compute kernels execute.
+
+        Mirrors the PyTorch-profiler SM utilization of Fig. 3 (copies do not
+        count).
+        """
+        total = self.makespan()
+        if total == 0:
+            return 0.0
+        return min(1.0, self.busy_time([RESOURCE_COMPUTE]) / total)
+
+    def reset(self) -> None:
+        self._ops.clear()
+        self._resource_free.clear()
+        self._stream_free.clear()
+        self._next_id = 0

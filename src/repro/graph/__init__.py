@@ -1,0 +1,75 @@
+"""Dynamic-graph substrate: sparse formats, snapshots, frames, overlap, datasets."""
+
+from repro.graph.coo import COOMatrix
+from repro.graph.csr import CSRMatrix
+from repro.graph.sliced_csr import SlicedCSRMatrix, DEFAULT_SLICE_CAPACITY
+from repro.graph.normalize import add_self_loops, gcn_normalize
+from repro.graph.snapshot import GraphSnapshot
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.frame import (
+    DEFAULT_FRAME_SIZE,
+    Frame,
+    FrameIterator,
+    Partition,
+    partition_frame,
+)
+from repro.graph.overlap import (
+    SnapshotOverlap,
+    adjacent_change_rates,
+    change_rate,
+    extract_overlap,
+    group_overlap_rate,
+    pairwise_overlap_rate,
+)
+from repro.graph.smoothing import apply_edge_life, smoothened_edge_total
+from repro.graph.generators import GeneratorConfig, generate_dynamic_graph, TOPOLOGIES
+from repro.graph.datasets import (
+    DATASET_ABBREVIATIONS,
+    DATASET_ORDER,
+    DatasetSpec,
+    PaperStats,
+    get_dataset_spec,
+    hidden_dim_for,
+    list_datasets,
+    load_dataset,
+)
+from repro.graph.stats import DegreeStats, density, format_sizes, summarize
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "SlicedCSRMatrix",
+    "DEFAULT_SLICE_CAPACITY",
+    "add_self_loops",
+    "gcn_normalize",
+    "GraphSnapshot",
+    "DynamicGraph",
+    "DEFAULT_FRAME_SIZE",
+    "Frame",
+    "FrameIterator",
+    "Partition",
+    "partition_frame",
+    "SnapshotOverlap",
+    "adjacent_change_rates",
+    "change_rate",
+    "extract_overlap",
+    "group_overlap_rate",
+    "pairwise_overlap_rate",
+    "apply_edge_life",
+    "smoothened_edge_total",
+    "GeneratorConfig",
+    "generate_dynamic_graph",
+    "TOPOLOGIES",
+    "DATASET_ABBREVIATIONS",
+    "DATASET_ORDER",
+    "DatasetSpec",
+    "PaperStats",
+    "get_dataset_spec",
+    "hidden_dim_for",
+    "list_datasets",
+    "load_dataset",
+    "DegreeStats",
+    "density",
+    "format_sizes",
+    "summarize",
+]

@@ -1,0 +1,157 @@
+"""Compressed Sparse Row (CSR) format.
+
+CSR is the canonical layout GNN aggregation kernels (GE-SpMM, GNNAdvisor)
+operate on: ``indptr`` gives per-row extents, ``indices``/``data`` the
+column coordinates and values.  The paper's GE-SpMM baseline additionally
+requires the CSC transpose for backward propagation (§5.2), which is exposed
+here via :meth:`CSRMatrix.transpose`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.coo import INDEX_BYTES, VALUE_BYTES, COOMatrix
+from repro.utils.validation import check_array
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An immutable CSR sparse matrix backed by NumPy arrays.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n_rows + 1``; row ``r`` owns the slice
+        ``indices[indptr[r]:indptr[r + 1]]``.
+    indices:
+        ``int64`` column indices, length ``nnz``.
+    data:
+        ``float32`` stored values, length ``nnz``.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        indptr = check_array("indptr", self.indptr, ndim=1, dtype_kind="iu")
+        indices = check_array("indices", self.indices, ndim=1, dtype_kind="iu")
+        data = check_array("data", self.data, ndim=1, dtype_kind="f")
+        n_rows, n_cols = self.shape
+        if len(indptr) != n_rows + 1:
+            raise ValueError(f"indptr must have length n_rows+1={n_rows + 1}, got {len(indptr)}")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(indices) != len(data):
+            raise ValueError("indices and data must have equal length")
+        if len(indices) and indices.max(initial=0) >= n_cols:
+            raise ValueError("column index out of bounds")
+        object.__setattr__(self, "indptr", np.ascontiguousarray(indptr, dtype=np.int64))
+        object.__setattr__(self, "indices", np.ascontiguousarray(indices, dtype=np.int64))
+        object.__setattr__(self, "data", np.ascontiguousarray(data, dtype=np.float32))
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_scipy(cls, mat: sp.spmatrix) -> "CSRMatrix":
+        csr = mat.tocsr()
+        csr.sort_indices()
+        return cls(
+            indptr=csr.indptr.astype(np.int64),
+            indices=csr.indices.astype(np.int64),
+            data=csr.data.astype(np.float32),
+            shape=csr.shape,
+        )
+
+    @classmethod
+    def from_edges(
+        cls, rows: np.ndarray, cols: np.ndarray, shape: Tuple[int, int]
+    ) -> "CSRMatrix":
+        """Build an unweighted CSR adjacency from (deduplicated) edge lists."""
+        return COOMatrix.from_edges(rows, cols, shape).to_csr()
+
+    @classmethod
+    def from_edge_keys(cls, keys: np.ndarray, shape: Tuple[int, int]) -> "CSRMatrix":
+        """Build from flat ``row * n_cols + col`` edge keys (values set to 1)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        rows, cols = np.divmod(keys, shape[1])
+        return cls.from_edges(rows, cols, shape)
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, int]) -> "CSRMatrix":
+        return cls(
+            indptr=np.zeros(shape[0] + 1, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+            data=np.zeros(0, dtype=np.float32),
+            shape=shape,
+        )
+
+    # -- properties --------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(len(self.data))
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage per the paper's accounting: ``2*nnz + n_rows + 1`` elements."""
+        return (2 * self.nnz + self.num_rows + 1) * INDEX_BYTES
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row number of stored elements (the out-degree for adjacencies)."""
+        return np.diff(self.indptr)
+
+    def edge_keys(self) -> np.ndarray:
+        """Sorted flat ``row * n_cols + col`` keys identifying each edge."""
+        rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), self.row_nnz())
+        keys = rows * self.num_cols + self.indices
+        return np.sort(keys)
+
+    # -- conversions & numerics -------------------------------------------
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def to_coo(self) -> COOMatrix:
+        return COOMatrix.from_scipy(self.to_scipy())
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.to_scipy().todense(), dtype=np.float32)
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as CSR (equivalently, this matrix in CSC)."""
+        return CSRMatrix.from_scipy(self.to_scipy().T.tocsr())
+
+    def matmul_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Reference sparse @ dense product (the aggregation numerics)."""
+        dense = np.asarray(dense, dtype=np.float32)
+        if dense.shape[0] != self.num_cols:
+            raise ValueError(
+                f"dimension mismatch: sparse is {self.shape}, dense is {dense.shape}"
+            )
+        return np.asarray(self.to_scipy() @ dense, dtype=np.float32)
+
+    def with_values(self, values: np.ndarray) -> "CSRMatrix":
+        """Return a copy with the same sparsity pattern but new values."""
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != self.data.shape:
+            raise ValueError("values must match nnz")
+        return CSRMatrix(indptr=self.indptr, indices=self.indices, data=values, shape=self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,62 @@
+"""GCN adjacency normalization.
+
+Both the baselines and PiPAD aggregate over a normalized adjacency
+``A_hat``: either the mean aggregator used by the paper's GCN description
+(§2.1, "the aggregation processes the gathered features with mean function")
+or the symmetric ``D^-1/2 (A + I) D^-1/2`` of Kipf & Welling.  Normalization
+is a pure CPU-side preprocessing step; the kernels never renormalize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.csr import CSRMatrix
+
+_METHODS = ("mean", "sym", "none")
+
+
+def add_self_loops(adj: CSRMatrix) -> CSRMatrix:
+    """Return ``A + I`` (duplicate self loops are collapsed)."""
+    n = adj.num_rows
+    if n != adj.num_cols:
+        raise ValueError("self loops require a square adjacency")
+    eye = sp.identity(n, format="csr", dtype=np.float32)
+    merged = adj.to_scipy().maximum(eye) if adj.nnz else eye
+    return CSRMatrix.from_scipy(merged)
+
+
+def gcn_normalize(
+    adj: CSRMatrix, method: str = "mean", *, self_loops: bool = True
+) -> CSRMatrix:
+    """Normalize an adjacency matrix for GCN aggregation.
+
+    Parameters
+    ----------
+    adj:
+        Unweighted adjacency (values are ignored; the pattern matters).
+    method:
+        ``"mean"`` for row-mean aggregation ``D^-1 (A + I)``, ``"sym"`` for
+        ``D^-1/2 (A + I) D^-1/2``, ``"none"`` to keep values as they are
+        (after optional self loops).
+    self_loops:
+        Whether to add ``I`` before normalizing (the GCN convention).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown normalization {method!r}; expected one of {_METHODS}")
+    base = add_self_loops(adj) if self_loops else adj
+    if method == "none":
+        return base
+    mat = base.to_scipy().astype(np.float64)
+    degree = np.asarray(mat.sum(axis=1)).ravel()
+    if method == "mean":
+        inv = np.divide(1.0, degree, out=np.zeros_like(degree), where=degree > 0)
+        normalized = sp.diags(inv) @ mat
+    else:  # sym
+        inv_sqrt = np.divide(
+            1.0, np.sqrt(degree), out=np.zeros_like(degree), where=degree > 0
+        )
+        d_inv_sqrt = sp.diags(inv_sqrt)
+        normalized = d_inv_sqrt @ mat @ d_inv_sqrt
+    return CSRMatrix.from_scipy(normalized.astype(np.float32).tocsr())

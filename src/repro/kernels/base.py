@@ -1,0 +1,94 @@
+"""Base class shared by the aggregation kernels.
+
+An aggregation kernel owns one sparse adjacency, performs the actual
+``A @ X`` / ``A^T @ dY`` numerics with SciPy, and — independently — estimates
+what the same operation costs on the simulated GPU.  Subclasses implement
+only the cost estimate; the numerics are identical across kernels (that is
+the point: PyG, GE-SpMM and PiPAD's parallel kernel compute the same values,
+they differ in memory behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.csr import CSRMatrix
+from repro.gpu.kernel_cost import KernelCost
+from repro.gpu.spec import GPUSpec
+
+
+class BaseAggregationKernel:
+    """Common numerics and bookkeeping for aggregation kernels.
+
+    Parameters
+    ----------
+    adjacency:
+        The sparse operand (unnormalized adjacency or any CSR matrix).
+    spec:
+        Simulated GPU spec used by the cost estimators.
+    scale:
+        Workload-extrapolation factor applied to extensive cost quantities
+        (see ``repro.gpu.profiler`` for the rationale).
+    """
+
+    #: kernel family name, overridden by subclasses
+    name = "aggregation"
+
+    def __init__(self, adjacency: CSRMatrix, spec: Optional[GPUSpec] = None, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be > 0")
+        self.adjacency = adjacency
+        self.spec = spec or GPUSpec()
+        self.scale = float(scale)
+        self._forward_mat: sp.csr_matrix = adjacency.to_scipy()
+        self._backward_mat: Optional[sp.csr_matrix] = None
+
+    # -- numerics ------------------------------------------------------------
+    def forward(self, dense: np.ndarray) -> np.ndarray:
+        """Compute ``A @ dense``."""
+        dense = np.asarray(dense, dtype=np.float32)
+        if dense.shape[0] != self.adjacency.num_cols:
+            raise ValueError(
+                f"dense rows ({dense.shape[0]}) must match adjacency cols ({self.adjacency.num_cols})"
+            )
+        return np.asarray(self._forward_mat @ dense, dtype=np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Compute ``A^T @ grad`` (gradient w.r.t. the dense operand)."""
+        if self._backward_mat is None:
+            self._backward_mat = self._forward_mat.T.tocsr()
+        grad = np.asarray(grad, dtype=np.float32)
+        return np.asarray(self._backward_mat @ grad, dtype=np.float32)
+
+    # -- cost ------------------------------------------------------------------
+    def forward_cost(self, dense_shape: Tuple[int, int]) -> KernelCost:
+        """Cost of the forward aggregation; implemented by subclasses."""
+        raise NotImplementedError
+
+    def backward_cost(self, grad_shape: Tuple[int, int]) -> KernelCost:
+        """Cost of the backward aggregation.
+
+        Default: same access pattern as forward applied to the transposed
+        adjacency (same nnz, in-degree distribution instead of out-degree).
+        """
+        return self.forward_cost(grad_shape)
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self.adjacency.nnz
+
+    @property
+    def num_rows(self) -> int:
+        return self.adjacency.num_rows
+
+    def _feature_dim(self, dense_shape: Tuple[int, int]) -> int:
+        if len(dense_shape) != 2:
+            raise ValueError(f"dense operand must be 2-D, got shape {dense_shape}")
+        return int(dense_shape[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(nnz={self.nnz}, rows={self.num_rows}, scale={self.scale})"

@@ -1,0 +1,32 @@
+"""Execution context threaded through the DGNN models.
+
+The context tells model code which simulated-GPU spec to cost against, how
+strongly to extrapolate the workload (``scale``) and how many snapshots share
+a weight tile in the update GEMM (``weight_reuse_group`` — 1 for the
+canonical one-snapshot execution, ``S_per`` under PiPAD's locality-optimized
+weight reuse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpu.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Per-run execution parameters shared by all layers of a model."""
+
+    spec: GPUSpec = field(default_factory=GPUSpec)
+    scale: float = 1.0
+    weight_reuse_group: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be > 0")
+        if self.weight_reuse_group < 1:
+            raise ValueError("weight_reuse_group must be >= 1")
+
+    def with_reuse_group(self, group: int) -> "ExecutionContext":
+        return replace(self, weight_reuse_group=group)

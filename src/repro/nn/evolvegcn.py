@@ -1,0 +1,102 @@
+"""EvolveGCN (Pareja et al., AAAI'20) — Fig. 2(b) of the paper.
+
+An *integrated* DGNN: each of its two layers pairs a 1-layer GCN with a GRU
+that evolves the GCN weight matrix along the timeline (the EvolveGCN-O
+variant: the weights are both the GRU input and its hidden state).  The
+weight evolution creates a cross-snapshot dependence on the *update* weights,
+which is why PiPAD's locality-optimized weight reuse does not apply here
+(§4.2), while the aggregation remains time-independent and parallelizable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.kernels.gemm import update_gemm
+from repro.nn.aggregation import AggregationProvider
+from repro.nn.base_model import DGNNModel, ModelState
+from repro.nn.context import ExecutionContext
+from repro.tensor import ops
+from repro.tensor.function import op_scope
+from repro.tensor.nn import init
+from repro.tensor.nn.linear import Linear
+from repro.tensor.nn.module import Parameter
+from repro.tensor.nn.rnn_cells import GRUCell
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class EvolveGCN(DGNNModel):
+    """Two weight-evolving GCN layers with a linear readout."""
+
+    name = "evolvegcn"
+    num_gcn_layers = 2
+    evolves_weights = True
+    reusable_aggregation_layers = (0,)
+    needs_topology_with_reuse = True
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int = 1,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__(in_features, hidden_features, out_features)
+        rng = as_rng(seed)
+        # Initial GCN weights; they evolve per snapshot through the GRUs below.
+        self.weight1 = Parameter(
+            init.xavier_uniform((in_features, hidden_features), seed=rng), name="weight1"
+        )
+        self.weight2 = Parameter(
+            init.xavier_uniform((hidden_features, hidden_features), seed=rng), name="weight2"
+        )
+        # The GRUs treat each weight-matrix row as one batch element.
+        self.weight_gru1 = GRUCell(hidden_features, hidden_features, seed=rng)
+        self.weight_gru2 = GRUCell(hidden_features, hidden_features, seed=rng)
+        self.readout = Linear(hidden_features, out_features, seed=rng)
+
+    def init_state(self, num_nodes: int) -> ModelState:
+        return {"weight1": self.weight1, "weight2": self.weight2}
+
+    def forward_partition(
+        self,
+        provider: AggregationProvider,
+        features: Sequence[Tensor],
+        state: ModelState,
+        ctx: ExecutionContext,
+    ) -> Tuple[List[Tensor], ModelState]:
+        weight1: Tensor = state["weight1"]
+        weight2: Tensor = state["weight2"]
+
+        # Layer 1: aggregation over the group, then per-snapshot evolved update.
+        agg1 = provider.aggregate_many(0, list(features))
+        hidden1: List[Tensor] = []
+        weights1: List[Tensor] = []
+        for aggregated in agg1:
+            weight1 = self.weight_gru1(weight1, weight1)
+            weights1.append(weight1)
+            with op_scope("update"):
+                hidden1.append(
+                    ops.relu(
+                        update_gemm(
+                            aggregated, weight1, None, reuse_group=1, spec=ctx.spec, scale=ctx.scale
+                        )
+                    )
+                )
+
+        # Layer 2: aggregate the evolved hidden features, evolve the second
+        # weight matrix and produce per-snapshot outputs.
+        agg2 = provider.aggregate_many(1, hidden1)
+        predictions: List[Tensor] = []
+        for aggregated in agg2:
+            weight2 = self.weight_gru2(weight2, weight2)
+            with op_scope("update"):
+                hidden2 = ops.relu(
+                    update_gemm(
+                        aggregated, weight2, None, reuse_group=1, spec=ctx.spec, scale=ctx.scale
+                    )
+                )
+            with op_scope("other"):
+                predictions.append(self.readout(hidden2))
+        return predictions, {"weight1": weight1, "weight2": weight2}

@@ -1,0 +1,73 @@
+"""MPNN-LSTM (Panagopoulos et al., AAAI'21) — Fig. 2(a) of the paper.
+
+A *stacked* DGNN: a 2-layer GCN learns spatial structure per snapshot, two
+LSTMs stacked on top capture temporal dynamics, and a linear readout produces
+the per-node forecast.  The only cross-snapshot dependence is the LSTM hidden
+state, so the whole GCN part of a snapshot group can execute in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.nn.aggregation import AggregationProvider
+from repro.nn.base_model import DGNNModel, ModelState
+from repro.nn.context import ExecutionContext
+from repro.nn.gcn import GCNUpdate
+from repro.tensor import ops
+from repro.tensor.function import op_scope
+from repro.tensor.nn.linear import Linear
+from repro.tensor.nn.rnn_cells import LSTMCell
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class MPNNLSTM(DGNNModel):
+    """Two GCN layers followed by two stacked LSTMs and a linear readout."""
+
+    name = "mpnn_lstm"
+    num_gcn_layers = 2
+    evolves_weights = False
+    reusable_aggregation_layers = (0,)
+    needs_topology_with_reuse = True
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int = 1,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__(in_features, hidden_features, out_features)
+        rng = as_rng(seed)
+        self.gcn1 = GCNUpdate(in_features, hidden_features, seed=rng)
+        self.gcn2 = GCNUpdate(hidden_features, hidden_features, seed=rng)
+        self.lstm1 = LSTMCell(hidden_features, hidden_features, seed=rng)
+        self.lstm2 = LSTMCell(hidden_features, hidden_features, seed=rng)
+        self.readout = Linear(hidden_features, out_features, seed=rng)
+
+    def init_state(self, num_nodes: int) -> ModelState:
+        return {"lstm1": None, "lstm2": None}
+
+    def forward_partition(
+        self,
+        provider: AggregationProvider,
+        features: Sequence[Tensor],
+        state: ModelState,
+        ctx: ExecutionContext,
+    ) -> Tuple[List[Tensor], ModelState]:
+        # Time-independent GNN part: both layers over the whole group.
+        agg1 = provider.aggregate_many(0, list(features))
+        hidden1 = [ops.relu(self.gcn1(a, ctx)) for a in agg1]
+        agg2 = provider.aggregate_many(1, hidden1)
+        hidden2 = [ops.relu(self.gcn2(a, ctx)) for a in agg2]
+
+        # Time-dependent part: LSTM stack walks the snapshots in order.
+        predictions: List[Tensor] = []
+        state1, state2 = state.get("lstm1"), state.get("lstm2")
+        for hidden in hidden2:
+            state1 = self.lstm1(hidden, state1)
+            state2 = self.lstm2(state1[0], state2)
+            with op_scope("other"):
+                predictions.append(self.readout(state2[0]))
+        return predictions, {"lstm1": state1, "lstm2": state2}

@@ -1,0 +1,13 @@
+"""Profiling/analysis helpers layered on training results and graph data."""
+
+from repro.profiling.breakdown import compute_time_breakdown, latency_breakdown
+from repro.profiling.load_balance import format_load_balance, sliced_vs_csr_balance
+from repro.profiling.utilization import utilization_summary
+
+__all__ = [
+    "compute_time_breakdown",
+    "latency_breakdown",
+    "format_load_balance",
+    "sliced_vs_csr_balance",
+    "utilization_summary",
+]

@@ -1,0 +1,50 @@
+"""Latency and computation-time breakdowns (Fig. 3 / Fig. 4 style)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.results import TrainingResult
+
+
+def latency_breakdown(result: TrainingResult) -> Dict[str, float]:
+    """Fractions of the end-to-end time spent on transfer / kernels / host.
+
+    Matches the Fig. 3 view: the denominator is the sum of the GPU-related
+    components (as the figure plots the GPU-related training time), and the
+    SM utilization is carried alongside.
+    """
+    transfer = result.breakdown.get("h2d", 0.0) + result.breakdown.get("d2h", 0.0)
+    compute = result.breakdown.get("kernel", 0.0)
+    cpu = result.breakdown.get("cpu", 0.0)
+    total = transfer + compute + cpu
+    if total == 0:
+        return {"transfer_fraction": 0.0, "compute_fraction": 0.0, "cpu_fraction": 0.0,
+                "sm_utilization": result.sm_utilization}
+    return {
+        "transfer_fraction": transfer / total,
+        "compute_fraction": compute / total,
+        "cpu_fraction": cpu / total,
+        "sm_utilization": result.sm_utilization,
+    }
+
+
+def compute_time_breakdown(result: TrainingResult) -> Dict[str, float]:
+    """Fractions of GPU computation time by component (Fig. 4 view).
+
+    The GNN component is the aggregation plus the update GEMMs; RNN covers
+    the LSTM/GRU gates; everything else (readout, losses, optimizer) is
+    "other".
+    """
+    categories = result.category_seconds
+    gnn = categories.get("aggregation", 0.0) + categories.get("update", 0.0)
+    rnn = categories.get("rnn", 0.0)
+    other = categories.get("elementwise", 0.0) + categories.get("other", 0.0)
+    total = gnn + rnn + other
+    if total == 0:
+        return {"gnn_fraction": 0.0, "rnn_fraction": 0.0, "other_fraction": 0.0}
+    return {
+        "gnn_fraction": gnn / total,
+        "rnn_fraction": rnn / total,
+        "other_fraction": other / total,
+    }

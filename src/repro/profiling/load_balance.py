@@ -1,0 +1,70 @@
+"""Load-balance analysis of CSR vs sliced CSR aggregation (Fig. 12)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.sliced_csr import SlicedCSRMatrix
+from repro.gpu.load_balance import (
+    analyze_block_work,
+    block_work_from_row_nnz,
+    block_work_from_slice_nnz,
+)
+from repro.gpu.spec import GPUSpec
+
+
+def sliced_vs_csr_balance(
+    graph: DynamicGraph,
+    spec: Optional[GPUSpec] = None,
+    *,
+    slice_capacity: int = 32,
+    scale: float = 1.0,
+    max_snapshots: int = 8,
+) -> Dict[str, float]:
+    """Average Balanced/Actual latency ratios of both formats over a dataset.
+
+    Returns the mean imbalance factor (actual / balanced) for the plain-CSR
+    row mapping and for the sliced-CSR slice mapping, plus the ratio of the
+    two — the quantity Fig. 12's bars visualize.
+    """
+    spec = spec or GPUSpec()
+    csr_imbalances, sliced_imbalances = [], []
+    for snapshot in graph.snapshots[:max_snapshots]:
+        adjacency = snapshot.adjacency
+        if adjacency.nnz == 0:
+            continue
+        csr_report = analyze_block_work(
+            block_work_from_row_nnz(adjacency.row_nnz()), spec, scale=scale
+        )
+        sliced = SlicedCSRMatrix.from_csr(adjacency, slice_capacity=slice_capacity)
+        sliced_report = analyze_block_work(
+            block_work_from_slice_nnz(sliced.slice_nnz()), spec, scale=scale
+        )
+        csr_imbalances.append(csr_report.imbalance)
+        sliced_imbalances.append(sliced_report.imbalance)
+    if not csr_imbalances:
+        return {"csr_imbalance": 1.0, "sliced_imbalance": 1.0, "improvement": 1.0,
+                "csr_balanced_fraction": 1.0, "sliced_balanced_fraction": 1.0}
+    csr_imbalance = float(np.mean(csr_imbalances))
+    sliced_imbalance = float(np.mean(sliced_imbalances))
+    return {
+        "csr_imbalance": csr_imbalance,
+        "sliced_imbalance": sliced_imbalance,
+        "improvement": csr_imbalance / sliced_imbalance if sliced_imbalance else 1.0,
+        "csr_balanced_fraction": 1.0 / csr_imbalance,
+        "sliced_balanced_fraction": 1.0 / sliced_imbalance,
+    }
+
+
+def format_load_balance(rows: Dict[str, Dict[str, float]]) -> str:
+    """Render per-dataset load-balance rows as a fixed-width table."""
+    lines = [f"{'dataset':<18} {'CSR actual/balanced':>20} {'sliced actual/balanced':>24} {'improvement':>12}"]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<18} {row['csr_imbalance']:>20.3f} {row['sliced_imbalance']:>24.3f} "
+            f"{row['improvement']:>12.3f}"
+        )
+    return "\n".join(lines)

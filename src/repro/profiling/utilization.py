@@ -1,0 +1,19 @@
+"""Utilization reporting helpers (Table 2 style)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.baselines.results import TrainingResult
+
+
+def utilization_summary(results: Iterable[TrainingResult]) -> Dict[str, Dict[str, float]]:
+    """GPU utilization (%) per (method, dataset) pair, nvidia-smi style.
+
+    Memory-copy activity counts toward utilization, matching the paper's
+    Table 2 measurement note.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        table.setdefault(result.method, {})[result.dataset] = result.gpu_utilization * 100.0
+    return table

@@ -1,0 +1,25 @@
+"""Neural-network building blocks over the autograd tensor."""
+
+from repro.tensor.nn.module import Module, Parameter
+from repro.tensor.nn.linear import Linear
+from repro.tensor.nn.rnn_cells import GRUCell, LSTMCell
+from repro.tensor.nn.loss import (
+    bce_with_logits_loss,
+    cross_entropy_loss,
+    l1_loss,
+    mse_loss,
+)
+from repro.tensor.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "GRUCell",
+    "LSTMCell",
+    "bce_with_logits_loss",
+    "cross_entropy_loss",
+    "l1_loss",
+    "mse_loss",
+    "init",
+]

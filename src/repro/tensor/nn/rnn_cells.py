@@ -1,0 +1,100 @@
+"""Recurrent cells (LSTM / GRU) used by the DGNN time-dependent components."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.tensor import ops
+from repro.tensor.function import op_scope
+from repro.tensor.nn import init
+from repro.tensor.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, as_rng
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell operating on ``(batch, input_size)`` inputs.
+
+    Gate layout along the last axis of the packed weights is
+    ``[input, forget, cell, output]``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = as_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.xavier_uniform((input_size, 4 * hidden_size), seed=rng), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            init.xavier_uniform((hidden_size, 4 * hidden_size), seed=rng), name="weight_hh"
+        )
+        self.bias = Parameter(init.zeros(4 * hidden_size), name="bias")
+
+    def init_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        """Zero-initialized ``(h, c)`` state for a batch of ``batch`` rows."""
+        return (
+            Tensor(init.zeros(batch, self.hidden_size)),
+            Tensor(init.zeros(batch, self.hidden_size)),
+        )
+
+    def forward(
+        self, x: Tensor, state: Optional[Tuple[Tensor, Tensor]] = None
+    ) -> Tuple[Tensor, Tensor]:
+        if state is None:
+            state = self.init_state(x.shape[0])
+        h_prev, c_prev = state
+        with op_scope("rnn"):
+            gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
+            hs = self.hidden_size
+            i_gate = ops.sigmoid(gates[:, 0 * hs : 1 * hs])
+            f_gate = ops.sigmoid(gates[:, 1 * hs : 2 * hs])
+            g_gate = ops.tanh(gates[:, 2 * hs : 3 * hs])
+            o_gate = ops.sigmoid(gates[:, 3 * hs : 4 * hs])
+            c_next = f_gate * c_prev + i_gate * g_gate
+            h_next = o_gate * ops.tanh(c_next)
+        return h_next, c_next
+
+
+class GRUCell(Module):
+    """A standard GRU cell operating on ``(batch, input_size)`` inputs.
+
+    Gate layout along the last axis is ``[reset, update, new]``.
+    EvolveGCN uses this cell directly on weight matrices (each weight row is
+    treated as one batch element), T-GCN wires graph convolutions into the
+    gate inputs.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ValueError("input_size and hidden_size must be positive")
+        rng = as_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.xavier_uniform((input_size, 3 * hidden_size), seed=rng), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            init.xavier_uniform((hidden_size, 3 * hidden_size), seed=rng), name="weight_hh"
+        )
+        self.bias_ih = Parameter(init.zeros(3 * hidden_size), name="bias_ih")
+        self.bias_hh = Parameter(init.zeros(3 * hidden_size), name="bias_hh")
+
+    def init_state(self, batch: int) -> Tensor:
+        return Tensor(init.zeros(batch, self.hidden_size))
+
+    def forward(self, x: Tensor, h_prev: Optional[Tensor] = None) -> Tensor:
+        if h_prev is None:
+            h_prev = self.init_state(x.shape[0])
+        hs = self.hidden_size
+        with op_scope("rnn"):
+            gi = x @ self.weight_ih + self.bias_ih
+            gh = h_prev @ self.weight_hh + self.bias_hh
+            r_gate = ops.sigmoid(gi[:, 0 * hs : 1 * hs] + gh[:, 0 * hs : 1 * hs])
+            z_gate = ops.sigmoid(gi[:, 1 * hs : 2 * hs] + gh[:, 1 * hs : 2 * hs])
+            n_gate = ops.tanh(gi[:, 2 * hs : 3 * hs] + r_gate * gh[:, 2 * hs : 3 * hs])
+            return (Tensor(1.0) - z_gate) * n_gate + z_gate * h_prev

@@ -1,0 +1,22 @@
+"""Shared utilities: validation helpers, RNG handling and lightweight timing."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_array,
+)
+from repro.utils.timing import WallTimer
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_array",
+    "WallTimer",
+]

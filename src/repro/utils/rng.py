@@ -1,0 +1,46 @@
+"""Random-number-generator helpers.
+
+Everything that draws randomness in the package accepts either an integer
+seed, ``None`` or a :class:`numpy.random.Generator`, funnelled through
+:func:`as_rng` so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Used when a workload (e.g. a dynamic-graph generator) needs one stream
+    per snapshot so that changing the number of snapshots does not perturb
+    the randomness of earlier ones.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    root = as_rng(seed)
+    seed_seq = getattr(root.bit_generator, "seed_seq", None)
+    if isinstance(seed_seq, np.random.SeedSequence):
+        return [np.random.default_rng(s) for s in seed_seq.spawn(n)]
+    # Fallback when the generator exposes no seed sequence: derive children
+    # from fresh integers drawn off the root stream.
+    return [np.random.default_rng(int(root.integers(0, 2**63 - 1))) for _ in range(n)]

@@ -1,0 +1,61 @@
+"""Wall-clock timing helper for host-side (CPU) phases.
+
+The simulated device accounts for GPU/PCIe time analytically; CPU-side work
+(graph slicing, overlap extraction, host preparation) is real Python work,
+so we measure it with a monotonic wall clock and feed the measurement into
+the same timeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class WallTimer:
+    """Accumulates named wall-clock durations.
+
+    Example
+    -------
+    >>> timer = WallTimer()
+    >>> with timer.measure("slice"):
+    ...     do_work()
+    >>> timer.total("slice")  # seconds
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def measure(self, name: str) -> "_TimerContext":
+        return _TimerContext(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration for {name!r}: {seconds}")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def grand_total(self) -> float:
+        return sum(self.totals.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.totals)
+
+
+class _TimerContext:
+    def __init__(self, timer: WallTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)

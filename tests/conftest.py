@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import TrainerConfig
+from repro.graph import CSRMatrix, GeneratorConfig, generate_dynamic_graph
+from repro.gpu import GPUSpec, SimulatedGPU
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A small dynamic graph used throughout the trainer/model tests."""
+    config = GeneratorConfig(
+        num_nodes=60,
+        avg_degree=3.0,
+        feature_dim=4,
+        num_snapshots=10,
+        change_rate=0.15,
+        topology="preferential",
+        name="test-graph",
+    )
+    return generate_dynamic_graph(config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dense_feature_graph():
+    """A graph with a larger feature dimension (vector-load code paths)."""
+    config = GeneratorConfig(
+        num_nodes=40,
+        avg_degree=4.0,
+        feature_dim=40,
+        num_snapshots=8,
+        change_rate=0.1,
+        topology="community",
+        name="test-dense",
+    )
+    return generate_dynamic_graph(config, seed=11)
+
+
+@pytest.fixture()
+def random_csr():
+    """A deterministic random 30x30 CSR adjacency."""
+    rng = np.random.default_rng(3)
+    rows = rng.integers(0, 30, size=90)
+    cols = rng.integers(0, 30, size=90)
+    mask = rows != cols
+    return CSRMatrix.from_edges(rows[mask], cols[mask], (30, 30))
+
+
+@pytest.fixture()
+def gpu_spec():
+    return GPUSpec()
+
+
+@pytest.fixture()
+def device():
+    return SimulatedGPU()
+
+
+@pytest.fixture()
+def trainer_config():
+    return TrainerConfig(model="tgcn", frame_size=4, epochs=2, lr=1e-3, seed=0)

@@ -1,0 +1,243 @@
+"""Tests for the PiPAD runtime components (slicer, prep, reuse, tuner, parallel GNN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataPreparer,
+    DynamicTuner,
+    GraphSlicer,
+    OfflineAnalysis,
+    ParallelAggregationProvider,
+    PiPADConfig,
+    ReuseManager,
+    build_overlap_group,
+)
+from repro.core.tuner import FrameProfile
+from repro.gpu import GPUSpec, SimulatedGPU
+from repro.nn import ExecutionContext, SequentialAggregationProvider
+from repro.tensor import Tensor
+
+SPEC = GPUSpec()
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = PiPADConfig()
+        assert config.s_per_candidates == (2, 4, 8)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            PiPADConfig(s_per_candidates=())
+        with pytest.raises(ValueError):
+            PiPADConfig(gpu_reuse_buffer_fraction=2.0)
+        with pytest.raises(ValueError):
+            PiPADConfig(preparing_epochs=-1)
+
+
+class TestSlicer:
+    def test_slice_snapshot_cached(self, small_graph):
+        slicer = GraphSlicer(slice_capacity=4)
+        first = slicer.slice_snapshot(small_graph[0])
+        second = slicer.slice_snapshot(small_graph[0])
+        assert first is second
+        assert slicer.is_cached(small_graph[0].timestep)
+
+    def test_conversion_seconds_proportional_to_nnz(self, small_graph):
+        slicer = GraphSlicer()
+        a = slicer.conversion_seconds(small_graph[0].adjacency)
+        assert a > 0
+        assert slicer.conversion_seconds(small_graph[0].adjacency) == pytest.approx(a)
+
+
+class TestDataPreparer:
+    def test_prepare_decomposition_exact(self, small_graph):
+        preparer = DataPreparer(slice_capacity=8)
+        group = small_graph.snapshots[:3]
+        data = preparer.prepare(group)
+        assert data.size == 3
+        assert 0.0 <= data.overlap_rate <= 1.0
+        # overlap + exclusives reconstruct each snapshot
+        for snapshot, exclusive in zip(group, data.overlap.exclusives):
+            rebuilt = np.union1d(data.overlap.overlap.edge_keys(), exclusive.edge_keys())
+            assert np.array_equal(rebuilt, snapshot.adjacency.edge_keys())
+
+    def test_prepare_caches_by_start_and_size(self, small_graph):
+        preparer = DataPreparer()
+        group = small_graph.snapshots[:2]
+        first = preparer.prepare(group)
+        seconds_after_first = preparer.total_extraction_seconds
+        second = preparer.prepare(group)
+        assert first is second
+        assert preparer.total_extraction_seconds == seconds_after_first
+
+    def test_transfer_savings_vs_full_snapshots(self, small_graph):
+        preparer = DataPreparer()
+        data = preparer.prepare(small_graph.snapshots[:4])
+        assert data.adjacency_bytes < data.baseline_adjacency_bytes
+
+    def test_prepare_frame_covers_all_snapshots(self, small_graph):
+        preparer = DataPreparer()
+        parts = preparer.prepare_frame(small_graph.snapshots[:6], s_per=4)
+        assert [p.size for p in parts] == [4, 2]
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            DataPreparer().prepare([])
+
+
+class TestReuseManager:
+    def test_store_and_lookup(self):
+        manager = ReuseManager(SimulatedGPU())
+        assert manager.lookup(0) is None
+        manager.store(0, np.ones((4, 2), dtype=np.float32))
+        assert manager.lookup(0) is not None
+        assert manager.cpu_hits == 1 and manager.misses == 1
+
+    def test_disabled_manager_never_caches(self):
+        manager = ReuseManager(SimulatedGPU(), enabled=False)
+        manager.store(0, np.ones(2, dtype=np.float32))
+        assert manager.lookup(0) is None
+        assert not manager.has_cached(0)
+
+    def test_gpu_residency_respects_capacity(self):
+        device = SimulatedGPU()
+        manager = ReuseManager(device, gpu_buffer_fraction=0.5)
+        for t in range(4):
+            manager.store(t, np.ones((8, 2), dtype=np.float32))
+        resident = manager.plan_gpu_residency([0, 1, 2, 3], {t: 10**9 * 5 for t in range(4)})
+        assert len(resident) <= 2  # 50% of 16 GB at 5 GB each
+        assert all(manager.is_gpu_resident(t) for t in resident)
+
+    def test_gpu_residency_in_use_order(self):
+        manager = ReuseManager(SimulatedGPU(), gpu_buffer_fraction=0.5)
+        for t in range(3):
+            manager.store(t, np.ones(4, dtype=np.float32))
+        resident = manager.plan_gpu_residency([2, 0, 1], {t: 100 for t in range(3)})
+        assert resident[0] == 2
+
+    def test_stats_and_clear(self):
+        manager = ReuseManager(SimulatedGPU())
+        manager.store(1, np.ones(4, dtype=np.float32))
+        manager.lookup(1)
+        stats = manager.stats()
+        assert stats["cpu_cached_snapshots"] == 1
+        manager.clear()
+        assert manager.lookup(1) is None
+
+
+class TestOfflineAnalysisAndTuner:
+    def test_build_overlap_group_hits_target_rate(self):
+        overlap, exclusives, full = build_overlap_group(200, 400, 4, overlap_rate=0.6, seed=0)
+        union = len(np.unique(np.concatenate([f.edge_keys() for f in full])))
+        measured = overlap.nnz / union
+        assert abs(measured - 0.6) < 0.1
+        assert len(exclusives) == 4
+
+    def test_speedup_increases_with_overlap_rate(self):
+        analysis = OfflineAnalysis(spec=SPEC, num_nodes=256, avg_degree=4.0)
+        low = analysis.speedup(4, 0.1, feature_dim=8)
+        high = analysis.speedup(4, 0.9, feature_dim=8)
+        assert high > low
+        assert low > 0.8
+
+    def test_speedup_table_covers_grid(self):
+        analysis = OfflineAnalysis(spec=SPEC, num_nodes=128, avg_degree=3.0)
+        table = analysis.speedup_table((2, 4), (0.3, 0.7), feature_dim=4)
+        assert set(table) == {(2, 0.3), (2, 0.7), (4, 0.3), (4, 0.7)}
+
+    def _profile(self, footprint, frame_activation=1e9, transfer=1e6, compute=1e-3):
+        return FrameProfile(
+            frame_index=0,
+            overlap_rate_per_candidate={2: 0.8, 4: 0.8, 8: 0.8},
+            per_snapshot_compute_seconds=compute,
+            per_snapshot_transfer_bytes=transfer,
+            per_snapshot_footprint_bytes=footprint,
+            frame_activation_bytes=frame_activation,
+        )
+
+    def test_tuner_prefers_larger_s_per_when_memory_allows(self):
+        tuner = DynamicTuner(SPEC, (2, 4, 8), feature_dim=8)
+        decision = tuner.decide(self._profile(footprint=1e6))
+        assert decision.s_per == 8
+
+    def test_tuner_respects_memory_bound(self):
+        tuner = DynamicTuner(SPEC, (2, 4, 8), feature_dim=8)
+        # 3 GB per snapshot: only 2 fit next to a 7 GB frame working set.
+        decision = tuner.decide(self._profile(footprint=3e9, frame_activation=7e9))
+        assert decision.s_per == 2
+
+    def test_tuner_falls_back_when_nothing_fits(self):
+        tuner = DynamicTuner(SPEC, (2, 4, 8), feature_dim=8)
+        decision = tuner.decide(self._profile(footprint=20e9))
+        assert decision.s_per == 1
+        assert "memory" in decision.reason
+
+    def test_tuner_avoids_pipeline_stall(self):
+        tuner = DynamicTuner(SPEC, (2, 8), feature_dim=8, stall_tolerance=1.0)
+        # Huge transfers relative to compute: all candidates stall, tuner says so.
+        decision = tuner.decide(self._profile(footprint=1e6, transfer=1e9, compute=1e-6))
+        assert "stall" in decision.reason
+
+    def test_tuner_requires_candidates(self):
+        with pytest.raises(ValueError):
+            DynamicTuner(SPEC, ())
+
+
+class TestParallelProvider:
+    def test_parallel_matches_sequential_numerics(self, small_graph):
+        group = small_graph.snapshots[:3]
+        data = DataPreparer().prepare(group)
+        parallel = ParallelAggregationProvider(data, spec=SPEC)
+        sequential = SequentialAggregationProvider(group, kernel_name="coo", spec=SPEC)
+        xs = [Tensor(s.features) for s in group]
+        parallel_out = parallel.aggregate_many(0, xs)
+        sequential_out = sequential.aggregate_many(0, xs)
+        for a, b in zip(parallel_out, sequential_out):
+            assert np.allclose(a.numpy(), b.numpy(), atol=1e-4)
+
+    def test_parallel_gradients_flow(self, small_graph):
+        group = small_graph.snapshots[:2]
+        data = DataPreparer().prepare(group)
+        provider = ParallelAggregationProvider(data, spec=SPEC)
+        xs = [Tensor(s.features, requires_grad=True) for s in group]
+        outs = provider.aggregate_many(0, xs)
+        (outs[0].sum() + outs[1].sum()).backward()
+        assert all(x.grad is not None for x in xs)
+
+    def test_parallel_uses_cache(self, small_graph):
+        group = small_graph.snapshots[:2]
+        data = DataPreparer().prepare(group)
+        manager = ReuseManager(SimulatedGPU())
+        provider = ParallelAggregationProvider(data, spec=SPEC, cache=manager)
+        xs = [Tensor(s.features) for s in group]
+        provider.aggregate_many(0, xs)
+        assert provider.cache_misses == 2
+        provider2 = ParallelAggregationProvider(data, spec=SPEC, cache=manager)
+        out_cached = provider2.aggregate_many(0, xs)
+        assert provider2.cache_hits == 2
+        out_fresh = ParallelAggregationProvider(data, spec=SPEC).aggregate_many(0, xs)
+        for a, b in zip(out_cached, out_fresh):
+            assert np.allclose(a.numpy(), b.numpy(), atol=1e-5)
+
+    def test_single_snapshot_partition(self, small_graph):
+        group = small_graph.snapshots[:1]
+        data = DataPreparer().prepare(group)
+        provider = ParallelAggregationProvider(data, spec=SPEC)
+        [out] = provider.aggregate_many(0, [Tensor(group[0].features)])
+        seq = SequentialAggregationProvider(group, spec=SPEC).aggregate_many(
+            0, [Tensor(group[0].features)]
+        )[0]
+        assert np.allclose(out.numpy(), seq.numpy(), atol=1e-4)
+
+    def test_csr_fallback_matches(self, small_graph):
+        group = small_graph.snapshots[:2]
+        data = DataPreparer(use_sliced_csr=False).prepare(group)
+        provider = ParallelAggregationProvider(data, spec=SPEC, use_sliced_csr=False)
+        xs = [Tensor(s.features) for s in group]
+        outs = provider.aggregate_many(0, xs)
+        seq = SequentialAggregationProvider(group, spec=SPEC).aggregate_many(0, xs)
+        for a, b in zip(outs, seq):
+            assert np.allclose(a.numpy(), b.numpy(), atol=1e-4)

@@ -1,0 +1,225 @@
+"""Tests for the GPU specs, memory/warp/load-balance models and kernel costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    GPUSpec,
+    HostSpec,
+    KernelCost,
+    PCIeSpec,
+    analyze_block_work,
+    baseline_active_thread_ratio,
+    block_work_from_row_nnz,
+    block_work_from_slice_nnz,
+    choose_coalesce_num,
+    classify_dimension,
+    coalesced_active_thread_ratio,
+    contiguous_bytes_cost,
+    row_access,
+    summarize_costs,
+    warp_efficiency_report,
+)
+
+
+class TestSpecs:
+    def test_default_peak_flops_reasonable(self, gpu_spec):
+        assert 10e12 < gpu_spec.peak_flops < 20e12
+
+    def test_memory_bytes(self, gpu_spec):
+        assert gpu_spec.memory_bytes == 16 * 1024**3
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(num_sms=0)
+        with pytest.raises(ValueError):
+            GPUSpec(memory_efficiency=1.5)
+
+    def test_pcie_transfer_time_monotone_in_bytes(self):
+        pcie = PCIeSpec()
+        assert pcie.transfer_seconds(2e6) > pcie.transfer_seconds(1e6)
+        assert pcie.transfer_seconds(0) == 0.0
+
+    def test_pcie_pageable_slower_than_pinned(self):
+        pcie = PCIeSpec()
+        assert pcie.transfer_seconds(1e8, pinned=False) > pcie.transfer_seconds(1e8, pinned=True)
+
+    def test_pcie_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PCIeSpec().transfer_seconds(-1)
+
+    def test_host_spec_defaults(self):
+        host = HostSpec()
+        assert host.dispatch_overhead_us > host.graph_dispatch_overhead_us
+
+
+class TestMemoryModel:
+    def test_bandwidth_unsaturation_regime(self, gpu_spec):
+        access = row_access(2, gpu_spec)
+        assert access.transactions == 1 and access.requests == 1
+        assert access.wasted_bytes == 32 - 8
+        assert classify_dimension(2, gpu_spec) == "bandwidth-unsaturated"
+
+    def test_request_burst_regime(self, gpu_spec):
+        access = row_access(64, gpu_spec)
+        assert access.requests == 2 and access.transactions == 8
+        assert classify_dimension(64, gpu_spec) == "request-burst"
+
+    def test_balanced_regime(self, gpu_spec):
+        assert classify_dimension(16, gpu_spec) == "balanced"
+
+    def test_vectorized_reduces_requests_not_transactions(self, gpu_spec):
+        scalar = row_access(128, gpu_spec)
+        vector = row_access(128, gpu_spec, vectorized=True)
+        assert vector.requests < scalar.requests
+        assert vector.transactions == scalar.transactions
+
+    def test_coalesced_rows_scale_useful_bytes(self, gpu_spec):
+        single = row_access(2, gpu_spec)
+        coalesced = row_access(2, gpu_spec, coalesced_rows=4)
+        assert coalesced.useful_bytes == 4 * single.useful_bytes
+        assert coalesced.transactions == 1
+
+    def test_contiguous_bytes_cost(self, gpu_spec):
+        cost = contiguous_bytes_cost(1024, gpu_spec)
+        assert cost.transactions == 32 and cost.requests == 8
+
+    def test_invalid_dims_rejected(self, gpu_spec):
+        with pytest.raises(ValueError):
+            row_access(0, gpu_spec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dim=st.integers(1, 512))
+    def test_property_transactions_cover_useful_bytes(self, dim):
+        """Transactions always move at least the useful bytes, in 32-byte units."""
+        spec = GPUSpec()
+        access = row_access(dim, spec)
+        assert access.transactions * spec.transaction_bytes >= access.useful_bytes
+        assert access.requests <= access.transactions or access.useful_bytes <= spec.transaction_bytes
+
+
+class TestWarpModel:
+    def test_baseline_ratio_small_dim(self, gpu_spec):
+        assert baseline_active_thread_ratio(2, gpu_spec) == pytest.approx(2 / 32)
+        assert baseline_active_thread_ratio(64, gpu_spec) == 1.0
+
+    def test_coalesce_num_bounds(self, gpu_spec):
+        assert choose_coalesce_num(2, gpu_spec) == 4   # capped at 4 thread groups
+        assert choose_coalesce_num(8, gpu_spec) == 4
+        assert choose_coalesce_num(16, gpu_spec) == 2
+        assert choose_coalesce_num(32, gpu_spec) == 1
+
+    def test_coalesced_ratio_never_below_baseline(self, gpu_spec):
+        for dim in (1, 2, 4, 8, 16, 31, 32, 64):
+            assert coalesced_active_thread_ratio(dim, gpu_spec) >= baseline_active_thread_ratio(
+                dim, gpu_spec
+            )
+
+    def test_warp_efficiency_report(self, gpu_spec):
+        report = warp_efficiency_report(2, 4, gpu_spec)
+        assert report.coalescent_dim == 8
+        assert report.improvement > 1.0
+
+
+class TestLoadBalance:
+    def test_uniform_work_is_balanced(self, gpu_spec):
+        report = analyze_block_work(np.full(100, 10.0), gpu_spec)
+        assert report.imbalance == pytest.approx(1.0, abs=0.15)
+
+    def test_skewed_work_is_imbalanced(self, gpu_spec):
+        work = np.ones(64)
+        work[0] = 1000.0
+        report = analyze_block_work(work, gpu_spec)
+        assert report.imbalance > 2.0
+
+    def test_scale_reduces_tail_effect(self, gpu_spec):
+        work = np.ones(64)
+        work[0] = 1000.0
+        small = analyze_block_work(work, gpu_spec, scale=1.0)
+        large = analyze_block_work(work, gpu_spec, scale=1000.0)
+        assert large.imbalance < small.imbalance
+
+    def test_sliced_mapping_more_balanced_than_rows(self, random_csr, gpu_spec):
+        from repro.graph import SlicedCSRMatrix
+
+        row_report = analyze_block_work(block_work_from_row_nnz(random_csr.row_nnz()), gpu_spec)
+        sliced = SlicedCSRMatrix.from_csr(random_csr, slice_capacity=2)
+        slice_report = analyze_block_work(
+            block_work_from_slice_nnz(sliced.slice_nnz()), gpu_spec
+        )
+        assert slice_report.imbalance <= row_report.imbalance + 1e-9
+
+    def test_empty_work(self, gpu_spec):
+        report = analyze_block_work(np.zeros(0), gpu_spec)
+        assert report.imbalance == 1.0
+
+
+class TestKernelCost:
+    def test_memory_bound_kernel_time(self, gpu_spec):
+        cost = KernelCost(name="k", mem_transactions=1e6)
+        expected = 1e6 * 32 / gpu_spec.effective_bandwidth
+        assert cost.execution_seconds(gpu_spec) == pytest.approx(expected)
+
+    def test_compute_bound_kernel_time(self, gpu_spec):
+        cost = KernelCost(name="k", flops=1e12)
+        assert cost.execution_seconds(gpu_spec) == pytest.approx(1e12 / gpu_spec.peak_flops)
+
+    def test_low_thread_ratio_slows_compute(self, gpu_spec):
+        fast = KernelCost(name="k", flops=1e12, active_thread_ratio=1.0)
+        slow = KernelCost(name="k", flops=1e12, active_thread_ratio=0.25)
+        assert slow.execution_seconds(gpu_spec) == pytest.approx(4 * fast.execution_seconds(gpu_spec))
+
+    def test_imbalance_multiplies_time(self, gpu_spec):
+        base = KernelCost(name="k", mem_transactions=1e6)
+        imbalanced = KernelCost(name="k", mem_transactions=1e6, imbalance=2.0)
+        assert imbalanced.execution_seconds(gpu_spec) == pytest.approx(
+            2 * base.execution_seconds(gpu_spec)
+        )
+        assert imbalanced.balanced_seconds(gpu_spec) == pytest.approx(
+            base.execution_seconds(gpu_spec)
+        )
+
+    def test_bandwidth_efficiency_slows_memory(self, gpu_spec):
+        base = KernelCost(name="k", mem_transactions=1e6)
+        derated = KernelCost(name="k", mem_transactions=1e6, bandwidth_efficiency=0.5)
+        assert derated.execution_seconds(gpu_spec) == pytest.approx(
+            2 * base.execution_seconds(gpu_spec)
+        )
+
+    def test_scaled_multiplies_extensive_quantities(self, gpu_spec):
+        cost = KernelCost(name="k", flops=10, mem_transactions=20, mem_requests=5, num_blocks=4)
+        scaled = cost.scaled(3.0)
+        assert scaled.flops == 30 and scaled.mem_transactions == 60 and scaled.num_blocks == 12
+        assert scaled.active_thread_ratio == cost.active_thread_ratio
+
+    def test_merged_with_sums_traffic(self):
+        a = KernelCost(name="a", flops=10, mem_transactions=5, launches=1)
+        b = KernelCost(name="b", flops=20, mem_transactions=10, launches=2)
+        merged = a.merged_with(b)
+        assert merged.flops == 30 and merged.mem_transactions == 15 and merged.launches == 3
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCost(name="k", category="bogus")
+        with pytest.raises(ValueError):
+            KernelCost(name="k", active_thread_ratio=0.0)
+        with pytest.raises(ValueError):
+            KernelCost(name="k", imbalance=0.5)
+        with pytest.raises(ValueError):
+            KernelCost(name="k", flops=-1)
+
+    def test_summarize_costs(self, gpu_spec):
+        costs = [
+            KernelCost(name="a", category="aggregation", mem_transactions=1e6),
+            KernelCost(name="b", category="rnn", flops=1e9, launches=3),
+        ]
+        summary = summarize_costs(costs, gpu_spec)
+        assert summary["total_launches"] == 4
+        assert summary["aggregation_seconds"] > 0
+        assert summary["total_seconds"] == pytest.approx(
+            summary["aggregation_seconds"] + summary["rnn_seconds"]
+        )

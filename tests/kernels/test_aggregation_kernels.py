@@ -1,0 +1,195 @@
+"""Tests for the aggregation kernels and the update GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRMatrix
+from repro.gpu import GPUSpec
+from repro.kernels import (
+    GESpMMAggregation,
+    PyGCOOAggregation,
+    SlicedParallelAggregation,
+    get_aggregation_kernel,
+    register_aggregation_kernel,
+    update_gemm,
+    update_gemm_cost,
+)
+from repro.tensor import Tensor
+
+SPEC = GPUSpec()
+
+
+def make_adj(seed=0, n=40, m=160):
+    rng = np.random.default_rng(seed)
+    rows, cols = rng.integers(0, n, m), rng.integers(0, n, m)
+    mask = rows != cols
+    return CSRMatrix.from_edges(rows[mask], cols[mask], (n, n))
+
+
+ALL_KERNELS = [PyGCOOAggregation, GESpMMAggregation, SlicedParallelAggregation]
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("kernel_cls", ALL_KERNELS)
+    def test_forward_matches_reference(self, kernel_cls):
+        adj = make_adj()
+        kernel = kernel_cls(adj, SPEC)
+        x = np.random.default_rng(1).random((40, 6)).astype(np.float32)
+        assert np.allclose(kernel.forward(x), adj.to_dense() @ x, atol=1e-4)
+
+    @pytest.mark.parametrize("kernel_cls", ALL_KERNELS)
+    def test_backward_is_transpose(self, kernel_cls):
+        adj = make_adj()
+        kernel = kernel_cls(adj, SPEC)
+        grad = np.random.default_rng(2).random((40, 3)).astype(np.float32)
+        assert np.allclose(kernel.backward(grad), adj.to_dense().T @ grad, atol=1e-4)
+
+    def test_dimension_mismatch_rejected(self):
+        kernel = GESpMMAggregation(make_adj(), SPEC)
+        with pytest.raises(ValueError):
+            kernel.forward(np.zeros((3, 3), dtype=np.float32))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            GESpMMAggregation(make_adj(), SPEC, scale=0.0)
+
+
+class TestCostShapes:
+    def test_scale_multiplies_cost(self):
+        adj = make_adj()
+        small = GESpMMAggregation(adj, SPEC, scale=1.0).forward_cost((40, 8))
+        large = GESpMMAggregation(adj, SPEC, scale=100.0).forward_cost((40, 8))
+        # Extensive quantities scale linearly up to per-access ceil rounding.
+        assert large.mem_transactions == pytest.approx(100.0 * small.mem_transactions, rel=1e-2)
+        assert large.flops == pytest.approx(100.0 * small.flops, rel=1e-6)
+
+    def test_coo_has_more_traffic_than_gespmm(self):
+        adj = make_adj()
+        coo = PyGCOOAggregation(adj, SPEC).forward_cost((40, 8))
+        csr = GESpMMAggregation(adj, SPEC).forward_cost((40, 8))
+        assert coo.mem_transactions > csr.mem_transactions
+        assert coo.launches > csr.launches
+
+    def test_coo_slower_than_gespmm_slower_than_sliced(self):
+        """The per-aggregation time ordering matches the paper's kernel story."""
+        adj = make_adj(m=400)
+        x_shape = (40, 4)
+        times = {
+            cls.__name__: cls(adj, SPEC, scale=1000.0).forward_cost(x_shape).execution_seconds(SPEC)
+            for cls in ALL_KERNELS
+        }
+        assert times["PyGCOOAggregation"] > times["GESpMMAggregation"] > times["SlicedParallelAggregation"]
+
+    def test_gespmm_thread_ratio_tracks_feature_dim(self):
+        adj = make_adj()
+        kernel = GESpMMAggregation(adj, SPEC)
+        assert kernel.forward_cost((40, 2)).active_thread_ratio == pytest.approx(2 / 32)
+        assert kernel.forward_cost((40, 64)).active_thread_ratio == 1.0
+
+    def test_sliced_coalescing_raises_thread_ratio(self):
+        adj = make_adj()
+        sliced = SlicedParallelAggregation(adj, SPEC)
+        gespmm = GESpMMAggregation(adj, SPEC)
+        assert (
+            sliced.forward_cost((40, 4)).active_thread_ratio
+            > gespmm.forward_cost((40, 4)).active_thread_ratio
+        )
+
+    def test_sliced_vector_loads_reduce_requests_for_large_dims(self):
+        adj = make_adj()
+        sliced = SlicedParallelAggregation(adj, SPEC).forward_cost((40, 128))
+        gespmm = GESpMMAggregation(adj, SPEC).forward_cost((40, 128))
+        assert sliced.mem_requests < gespmm.mem_requests
+
+    def test_empty_rows_cost_nothing_in_sliced_format(self):
+        # 100 rows but only 5 carry edges: GE-SpMM pays per-row overhead,
+        # sliced CSR only pays per slice.
+        rows = np.array([0, 1, 2, 3, 4])
+        cols = np.array([10, 11, 12, 13, 14])
+        adj = CSRMatrix.from_edges(rows, cols, (100, 100))
+        gespmm = GESpMMAggregation(adj, SPEC).forward_cost((100, 4))
+        sliced = SlicedParallelAggregation(adj, SPEC).forward_cost((100, 4))
+        assert sliced.mem_transactions < gespmm.mem_transactions
+
+    def test_backward_cost_uses_transpose_distribution(self):
+        # All edges point to column 0 -> transpose is maximally skewed.
+        rows = np.arange(1, 30)
+        cols = np.zeros(29, dtype=np.int64)
+        adj = CSRMatrix.from_edges(rows, cols, (30, 30))
+        kernel = GESpMMAggregation(adj, SPEC)
+        assert kernel.backward_cost((30, 8)).imbalance >= kernel.forward_cost((30, 8)).imbalance
+
+    def test_coalesce_num_report(self):
+        kernel = SlicedParallelAggregation(make_adj(), SPEC)
+        assert kernel.coalesce_num(4) == 4
+        assert kernel.coalesce_num(64) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(dim=st.integers(1, 128), seed=st.integers(0, 50))
+    def test_property_costs_positive_and_consistent(self, dim, seed):
+        """All kernels report positive, internally consistent costs for any dim."""
+        adj = make_adj(seed=seed, n=20, m=60)
+        if adj.nnz == 0:
+            return
+        for cls in ALL_KERNELS:
+            cost = cls(adj, SPEC).forward_cost((20, dim))
+            assert cost.flops > 0
+            assert cost.mem_transactions >= cost.mem_requests
+            assert cost.execution_seconds(SPEC) > 0
+
+
+class TestUpdateGEMM:
+    def test_cost_weight_reuse_reduces_traffic(self):
+        base = update_gemm_cost(1000, 16, 32, SPEC, reuse_group=1)
+        reused = update_gemm_cost(1000, 16, 32, SPEC, reuse_group=8)
+        assert reused.global_read_bytes < base.global_read_bytes
+        assert reused.flops == base.flops
+
+    def test_cost_invalid_group(self):
+        with pytest.raises(ValueError):
+            update_gemm_cost(10, 4, 4, SPEC, reuse_group=0)
+
+    def test_forward_matches_dense_and_grads_flow(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.random((7, 5)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.random((5, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(np.zeros(3, dtype=np.float32), requires_grad=True)
+        out = update_gemm(x, w, b, reuse_group=2, spec=SPEC)
+        assert np.allclose(out.numpy(), x.numpy() @ w.numpy() + b.numpy(), atol=1e-5)
+        out.backward(np.ones_like(out.numpy()))
+        assert x.grad is not None and w.grad is not None and b.grad is not None
+        assert np.allclose(w.grad, x.numpy().T @ np.ones((7, 3), dtype=np.float32), atol=1e-4)
+
+    def test_forward_without_bias(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.random((4, 2)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.random((2, 2)).astype(np.float32), requires_grad=True)
+        out = update_gemm(x, w, None, spec=SPEC)
+        out.backward(np.ones_like(out.numpy()))
+        assert np.allclose(out.numpy(), x.numpy() @ w.numpy(), atol=1e-5)
+
+
+class TestRegistry:
+    def test_lookup_aliases(self):
+        assert get_aggregation_kernel("pyg") is PyGCOOAggregation
+        assert get_aggregation_kernel("GESPMM") is GESpMMAggregation
+        assert get_aggregation_kernel("pipad") is SlicedParallelAggregation
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            get_aggregation_kernel("nope")
+
+    def test_register_custom_kernel(self):
+        class Custom(GESpMMAggregation):
+            name = "custom"
+
+        register_aggregation_kernel("custom-test", Custom)
+        assert get_aggregation_kernel("custom-test") is Custom
+
+    def test_register_rejects_non_kernel(self):
+        with pytest.raises(TypeError):
+            register_aggregation_kernel("bad", dict)

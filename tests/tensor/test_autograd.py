@@ -1,0 +1,210 @@
+"""Autograd engine tests: forward values, gradients, observer, grad mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, no_grad, observe_ops, ops, op_scope
+from repro.tensor.function import OpEvent, current_scope
+
+
+def numeric_gradient(fn, array, eps=1e-3):
+    """Central-difference gradient of a scalar-valued fn w.r.t. array."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        f_plus = fn()
+        array[idx] = original - eps
+        f_minus = fn()
+        array[idx] = original
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(build_loss, *tensors, atol=2e-2, rtol=5e-2):
+    """Compare autograd gradients against numeric differentiation."""
+    loss = build_loss()
+    loss.backward()
+    for tensor in tensors:
+        numeric = numeric_gradient(lambda: build_loss().item(), tensor.data)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=rtol)
+
+
+def rand_tensor(*shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.uniform(-1, 1, size=shape).astype(np.float32), requires_grad=requires_grad)
+
+
+class TestForwardValues:
+    def test_add_broadcast(self):
+        a, b = Tensor(np.ones((2, 3))), Tensor(np.arange(3, dtype=np.float32))
+        assert np.allclose((a + b).numpy(), 1.0 + np.arange(3))
+
+    def test_matmul(self):
+        a, b = rand_tensor(3, 4), rand_tensor(4, 5, seed=1)
+        assert np.allclose((a @ b).numpy(), a.numpy() @ b.numpy(), atol=1e-5)
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            _ = rand_tensor(3) @ rand_tensor(3)
+
+    def test_activations_match_numpy(self):
+        x = rand_tensor(4, 4, seed=2)
+        assert np.allclose(ops.sigmoid(x).numpy(), 1 / (1 + np.exp(-x.numpy())), atol=1e-5)
+        assert np.allclose(ops.tanh(x).numpy(), np.tanh(x.numpy()), atol=1e-6)
+        assert np.allclose(ops.relu(x).numpy(), np.maximum(x.numpy(), 0))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = rand_tensor(5, 7, seed=3)
+        assert np.allclose(ops.softmax(x, axis=-1).numpy().sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_reductions(self):
+        x = rand_tensor(3, 4, seed=4)
+        assert np.allclose(ops.sum(x).item(), x.numpy().sum(), atol=1e-5)
+        assert np.allclose(ops.mean(x, axis=0).numpy(), x.numpy().mean(axis=0), atol=1e-5)
+        assert np.allclose(ops.max(x, axis=1).numpy(), x.numpy().max(axis=1))
+
+    def test_concat_and_stack(self):
+        a, b = rand_tensor(2, 3), rand_tensor(2, 2, seed=1)
+        assert ops.concat([a, b], axis=1).shape == (2, 5)
+        assert ops.stack([a, a], axis=0).shape == (2, 2, 3)
+
+    def test_getitem_slicing(self):
+        x = rand_tensor(4, 6)
+        assert np.allclose(x[:, 2:4].numpy(), x.numpy()[:, 2:4])
+
+    def test_reshape_transpose(self):
+        x = rand_tensor(2, 6)
+        assert x.reshape(3, 4).shape == (3, 4)
+        assert np.allclose(x.T.numpy(), x.numpy().T)
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ValueError):
+            rand_tensor(2, 2).item()
+
+
+class TestGradients:
+    def test_add_mul_chain(self):
+        a, b = rand_tensor(3, 3, seed=1), rand_tensor(3, 3, seed=2)
+        check_gradient(lambda: ops.sum((a + b) * a), a, b)
+
+    def test_matmul_grad(self):
+        a, b = rand_tensor(3, 4, seed=3), rand_tensor(4, 2, seed=4)
+        check_gradient(lambda: ops.sum(a @ b), a, b)
+
+    def test_div_grad(self):
+        a, b = rand_tensor(3, 3, seed=5), Tensor(np.full((3, 3), 2.0, np.float32), requires_grad=True)
+        check_gradient(lambda: ops.sum(a / b), a, b)
+
+    def test_activation_grads(self):
+        x = rand_tensor(4, 3, seed=6)
+        check_gradient(lambda: ops.sum(ops.sigmoid(x) * ops.tanh(x)), x)
+
+    def test_softmax_grad(self):
+        x = rand_tensor(3, 5, seed=7)
+        weights = Tensor(np.random.default_rng(0).random((3, 5)).astype(np.float32))
+        check_gradient(lambda: ops.sum(ops.softmax(x, axis=-1) * weights), x)
+
+    def test_mean_axis_grad(self):
+        x = rand_tensor(4, 5, seed=8)
+        check_gradient(lambda: ops.sum(ops.mean(x, axis=1) ** 2.0), x)
+
+    def test_broadcast_bias_grad(self):
+        x, b = rand_tensor(5, 3, seed=9), rand_tensor(3, seed=10)
+        check_gradient(lambda: ops.sum((x + b) ** 2.0), x, b)
+
+    def test_getitem_grad(self):
+        x = rand_tensor(4, 6, seed=11)
+        check_gradient(lambda: ops.sum(x[:, 1:4] * x[:, 2:5]), x)
+
+    def test_concat_grad(self):
+        a, b = rand_tensor(3, 2, seed=12), rand_tensor(3, 3, seed=13)
+        check_gradient(lambda: ops.sum(ops.concat([a, b], axis=1) ** 2.0), a, b)
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = rand_tensor(2, 2, seed=14)
+        ops.sum(x * x).backward()
+        first = x.grad.copy()
+        ops.sum(x * x).backward()
+        assert np.allclose(x.grad, 2 * first)
+
+    def test_shared_subexpression_accumulates(self):
+        x = rand_tensor(3, 3, seed=15)
+        y = x * x
+        check_gradient(lambda: ops.sum(x * x + x * x), x)
+        assert y is not None
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_backward_shape_mismatch(self):
+        x = rand_tensor(2, 2)
+        y = ops.sum(x)
+        with pytest.raises(ValueError):
+            y.backward(np.ones((3, 3), dtype=np.float32))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 5), m=st.integers(1, 5), k=st.integers(1, 5), seed=st.integers(0, 100))
+    def test_property_linear_chain_gradcheck(self, n, m, k, seed):
+        """Gradients of sum(tanh(A@B)) match numeric differentiation for any shape."""
+        a, b = rand_tensor(n, k, seed=seed), rand_tensor(k, m, seed=seed + 1)
+        check_gradient(lambda: ops.sum(ops.tanh(a @ b)), a, b)
+
+
+class TestGradModeAndObserver:
+    def test_no_grad_blocks_graph(self):
+        x = rand_tensor(2, 2)
+        with no_grad():
+            y = ops.sum(x * x)
+        assert y.requires_grad is False
+
+    def test_observer_receives_forward_and_backward(self):
+        events = []
+        x = rand_tensor(3, 3)
+        with observe_ops(events.append):
+            loss = ops.sum(ops.relu(x @ x))
+            loss.backward()
+        names = [(e.name, e.phase) for e in events]
+        assert ("matmul", "forward") in names
+        assert ("matmul", "backward") in names
+        assert all(isinstance(e, OpEvent) for e in events)
+
+    def test_observer_restored_after_context(self):
+        from repro.tensor import get_op_observer
+
+        with observe_ops(lambda e: None):
+            pass
+        assert get_op_observer() is None
+
+    def test_op_scope_tagging(self):
+        events = []
+        x = rand_tensor(2, 2)
+        with observe_ops(events.append):
+            with op_scope("rnn"):
+                _ = x * x
+            _ = x + x
+        scopes = {e.name: e.attrs.get("scope") for e in events}
+        assert scopes["mul"] == "rnn"
+        assert scopes["add"] == "other"
+
+    def test_backward_event_keeps_forward_scope(self):
+        events = []
+        x = rand_tensor(2, 2)
+        with observe_ops(events.append):
+            with op_scope("update"):
+                y = ops.sum(x * x)
+            y.backward()
+        backward_scopes = [e.attrs.get("scope") for e in events if e.phase == "backward" and e.name == "mul"]
+        assert backward_scopes == ["update"]
+
+    def test_current_scope_default(self):
+        assert current_scope() == "other"

@@ -1,0 +1,110 @@
+"""Tests for repro.utils (rng, validation, timing)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    WallTimer,
+    as_rng,
+    check_array,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_as_rng_from_int_is_deterministic(self):
+        assert as_rng(42).integers(0, 100) == as_rng(42).integers(0, 100)
+
+    def test_as_rng_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_count_and_independence(self):
+        children = spawn_rngs(5, 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(5, 2)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(5, 2)]
+        assert a == b
+
+    def test_spawn_rngs_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_in_range_inclusive(self):
+        check_in_range("x", 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_check_type(self):
+        check_type("x", 3, int)
+        with pytest.raises(TypeError):
+            check_type("x", 3, str)
+
+    def test_check_array_ndim(self):
+        arr = check_array("x", [[1.0, 2.0]], ndim=2)
+        assert arr.shape == (1, 2)
+        with pytest.raises(ValueError):
+            check_array("x", [1.0], ndim=2)
+
+    def test_check_array_dtype_kind(self):
+        check_array("x", np.zeros(3, dtype=np.float32), dtype_kind="f")
+        with pytest.raises(ValueError):
+            check_array("x", np.zeros(3, dtype=np.int64), dtype_kind="f")
+
+    def test_check_array_shape_wildcards(self):
+        check_array("x", np.zeros((2, 5)), shape=(None, 5))
+        with pytest.raises(ValueError):
+            check_array("x", np.zeros((2, 5)), shape=(None, 4))
+
+
+class TestWallTimer:
+    def test_measure_accumulates(self):
+        timer = WallTimer()
+        with timer.measure("work"):
+            time.sleep(0.01)
+        assert timer.total("work") >= 0.005
+        assert timer.counts["work"] == 1
+
+    def test_add_and_grand_total(self):
+        timer = WallTimer()
+        timer.add("a", 1.0)
+        timer.add("a", 0.5)
+        timer.add("b", 2.0)
+        assert timer.total("a") == pytest.approx(1.5)
+        assert timer.grand_total() == pytest.approx(3.5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            WallTimer().add("a", -1.0)
+
+    def test_unknown_name_total_zero(self):
+        assert WallTimer().total("missing") == 0.0
