@@ -1,0 +1,90 @@
+"""Streaming traffic forecasting: train offline, then serve online deltas.
+
+The serving counterpart of ``traffic_forecast_tgcn.py``: a T-GCN model is
+first trained on the Covid-19 England contact-graph analogue with the PiPAD
+trainer, then handed to the streaming engine (:mod:`repro.serving`).  The
+engine ingests a mixed trace of graph deltas (edge churn + feature updates)
+and node-level prediction requests, coalesces concurrent requests into
+micro-batches, and pushes every batch through the simulated-GPU pipeline
+with tuner-chosen window partitioning.  The incremental reuse path — cached
+first-layer aggregations patched only on delta-touched rows — is what keeps
+the p50 latency low; the final lines compare against a full-recompute
+engine replaying the exact same trace.
+
+Run with ``python examples/serve_traffic_forecast.py``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import TrainerConfig
+from repro.core import PiPADConfig, PiPADTrainer
+from repro.graph import load_dataset
+from repro.serving import ServingConfig, build_serving_engine, synthesize_serving_trace
+
+
+def main() -> None:
+    graph = load_dataset("covid19_england", seed=2, num_snapshots=16)
+    print(f"dataset: {graph.name}  nodes={graph.num_nodes}  snapshots={graph.num_snapshots}")
+
+    # -- offline phase: train the model with the PiPAD trainer ---------------
+    trainer = PiPADTrainer(
+        graph,
+        TrainerConfig(model="tgcn", frame_size=8, epochs=3, lr=5e-3, seed=2),
+        PiPADConfig(preparing_epochs=1),
+    )
+    training = trainer.train()
+    print(
+        f"offline training: {training.epochs} epochs in "
+        f"{training.simulated_seconds * 1e3:.2f} ms simulated, "
+        f"final loss {training.final_loss:.4f}\n"
+    )
+
+    # -- online phase: stream deltas + requests through the serving engine ---
+    config = ServingConfig(window=8, max_batch_requests=8, max_delay_ms=1.0)
+    engine = build_serving_engine(graph, trainer.model, config)
+    trace = synthesize_serving_trace(
+        engine.store.head,
+        num_events=160,  # ≥100 mixed delta-updates and requests
+        request_fraction=0.7,
+        nodes_per_request=8,
+        mean_interarrival_ms=0.5,
+        seed=7,
+    )
+    num_requests = sum(1 for e in trace if e.kind == "request")
+    print(
+        f"replaying trace: {len(trace)} events "
+        f"({num_requests} requests, {len(trace) - num_requests} deltas)"
+    )
+    report = engine.run_trace(trace)
+    print(report.format())
+    print(
+        f"  window overlap rate={report.extras['window_overlap_rate']:.2f}  "
+        f"mean S_per={report.extras.get('mean_s_per', 1):.1f}  "
+        f"rows patched per delta="
+        f"{report.extras['rows_patched'] / max(1, report.metrics.deltas_ingested):.1f}"
+    )
+
+    # -- same trace, no incremental reuse: the naive recompute baseline ------
+    naive = build_serving_engine(
+        graph,
+        trainer.model,
+        ServingConfig(
+            window=8,
+            max_batch_requests=8,
+            max_delay_ms=1.0,
+            enable_reuse=False,
+            fixed_s_per=1,
+            enable_pipeline=False,
+        ),
+    )
+    naive_report = naive.run_trace(trace)
+    print("\n" + naive_report.format())
+    print(
+        f"\nincremental serving speedup over full recompute: "
+        f"{report.speedup_over(naive_report):.2f}x mean latency "
+        f"(p99 {naive_report.p99_latency / report.p99_latency:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

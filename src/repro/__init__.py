@@ -20,6 +20,8 @@ Sub-packages
 - :mod:`repro.core` — the PiPAD runtime (slicer, overlap-aware transfer,
   parallel GNN, pipeline, inter-frame reuse, dynamic tuner, trainer).
 - :mod:`repro.baselines` — PyGT and its PyGT-A / PyGT-R / PyGT-G variants.
+- :mod:`repro.serving` — streaming inference: incremental snapshot store,
+  forward-only sessions, micro-batching and the pipelined serving scheduler.
 - :mod:`repro.profiling` — breakdowns, utilization, load-balance analysis.
 - :mod:`repro.experiments` — one module per paper table/figure.
 
@@ -61,6 +63,16 @@ _LAZY_EXPORTS = {
     "make_trainer": "repro.baselines",
     # models
     "build_model": "repro.nn",
+    # serving
+    "GraphDelta": "repro.serving",
+    "IncrementalSnapshotStore": "repro.serving",
+    "InferenceSession": "repro.serving",
+    "MicroBatcher": "repro.serving",
+    "ServingConfig": "repro.serving",
+    "ServingReport": "repro.serving",
+    "ServingScheduler": "repro.serving",
+    "build_serving_engine": "repro.serving",
+    "synthesize_serving_trace": "repro.serving",
     # experiments
     "run_experiment": "repro.experiments",
     "list_experiments": "repro.experiments",

@@ -102,6 +102,32 @@ class DataPreparer:
         self._cache[key] = data
         return data
 
+    def prepare_from_decomposition(
+        self, snapshots: Sequence[GraphSnapshot], overlap: SnapshotOverlap
+    ) -> PartitionData:
+        """Build :class:`PartitionData` from an already-known decomposition.
+
+        The serving path maintains the window decomposition incrementally
+        (:class:`~repro.graph.overlap.IncrementalOverlapTracker`), so no
+        extraction work is charged; only the transfer-format sizes are
+        computed.  Results are *not* cached: snapshot versions are unique and
+        the caller owns their lifetime.
+        """
+        if not snapshots:
+            raise ValueError("cannot prepare an empty snapshot group")
+        if len(snapshots) != overlap.group_size:
+            raise ValueError(
+                f"decomposition covers {overlap.group_size} snapshots, got {len(snapshots)}"
+            )
+        return PartitionData(
+            start_timestep=snapshots[0].timestep,
+            snapshots=tuple(snapshots),
+            overlap=overlap,
+            overlap_bytes=self._format_bytes(overlap.overlap),
+            exclusive_bytes=tuple(self._format_bytes(e) for e in overlap.exclusives),
+            extraction_seconds=0.0,
+        )
+
     def is_cached(self, start_timestep: int, size: int) -> bool:
         return (start_timestep, size) in self._cache
 

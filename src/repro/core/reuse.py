@@ -57,6 +57,36 @@ class ReuseManager:
         if self.enabled:
             self._cpu_store[timestep] = value
 
+    def peek(self, timestep: int) -> Optional[np.ndarray]:
+        """Like :meth:`lookup` but without touching the hit/miss counters.
+
+        The serving path uses this to patch a cached result incrementally;
+        only genuine model-driven lookups should count towards the hit rate.
+        """
+        if not self.enabled:
+            return None
+        return self._cpu_store.get(timestep)
+
+    def invalidate(self, timesteps: Iterable[int]) -> int:
+        """Drop the cached aggregations of the given snapshots.
+
+        A topology or feature delta invalidates the first-layer aggregation of
+        every snapshot version it touches; callers must evict those entries
+        before the next forward pass or the model would silently read stale
+        results.  Returns the number of CPU-side entries actually removed.
+        """
+        removed = 0
+        for timestep in timesteps:
+            if self._cpu_store.pop(timestep, None) is not None:
+                removed += 1
+            self._gpu_resident.pop(timestep, None)
+        return removed
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either buffer so far."""
+        total = self.cpu_hits + self.gpu_hits + self.misses
+        return (self.cpu_hits + self.gpu_hits) / total if total else 0.0
+
     # -- residency planning -------------------------------------------------------
     def has_cached(self, timestep: int) -> bool:
         return self.enabled and timestep in self._cpu_store

@@ -308,3 +308,37 @@ class DynamicTuner:
             overlap_rate=profile.overlap_rate_per_candidate.get(best[0], 0.0),
             reason=reason,
         )
+
+    def decide_forward(
+        self,
+        profile: FrameProfile,
+        *,
+        pcie_bandwidth_gbs: float = 12.0,
+        memory_bytes: Optional[int] = None,
+    ) -> TuningDecision:
+        """Forward-only (inference/serving) variant of :meth:`decide`.
+
+        Serving keeps no gradients, optimizer state or backward activations,
+        so only about half of the training-time footprint applies; the
+        speedup table itself is already a forward-pass estimate and carries
+        over unchanged.  The serving scheduler calls this per micro-batch to
+        pick the window-partition parallelism.
+        """
+        forward_profile = FrameProfile(
+            frame_index=profile.frame_index,
+            overlap_rate_per_candidate=profile.overlap_rate_per_candidate,
+            per_snapshot_compute_seconds=profile.per_snapshot_compute_seconds,
+            per_snapshot_transfer_bytes=profile.per_snapshot_transfer_bytes,
+            per_snapshot_footprint_bytes=profile.per_snapshot_footprint_bytes * 0.5,
+            frame_activation_bytes=profile.frame_activation_bytes * 0.5,
+        )
+        decision = self.decide(
+            forward_profile, pcie_bandwidth_gbs=pcie_bandwidth_gbs, memory_bytes=memory_bytes
+        )
+        return TuningDecision(
+            frame_index=decision.frame_index,
+            s_per=decision.s_per,
+            estimated_speedup=decision.estimated_speedup,
+            overlap_rate=decision.overlap_rate,
+            reason=f"forward-only: {decision.reason}",
+        )

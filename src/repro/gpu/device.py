@@ -108,6 +108,7 @@ class SimulatedGPU:
         stream: str = "copy",
         pinned: bool = True,
         depends_on: Optional[Sequence[TimelineOp]] = None,
+        not_before: float = 0.0,
     ) -> TimelineOp:
         """Schedule a host→device copy of ``nbytes``."""
         duration = self.pcie.transfer_seconds(nbytes, pinned=pinned)
@@ -119,6 +120,7 @@ class SimulatedGPU:
             stream=stream,
             depends_on=depends_on,
             attrs={"bytes": float(nbytes), "pinned": pinned},
+            not_before=not_before,
         )
 
     def transfer_d2h(
@@ -129,6 +131,7 @@ class SimulatedGPU:
         stream: str = "copy_back",
         pinned: bool = True,
         depends_on: Optional[Sequence[TimelineOp]] = None,
+        not_before: float = 0.0,
     ) -> TimelineOp:
         """Schedule a device→host copy of ``nbytes``."""
         duration = self.pcie.transfer_seconds(nbytes, pinned=pinned)
@@ -140,6 +143,7 @@ class SimulatedGPU:
             stream=stream,
             depends_on=depends_on,
             attrs={"bytes": float(nbytes), "pinned": pinned},
+            not_before=not_before,
         )
 
     def launch_kernel(
@@ -208,6 +212,7 @@ class SimulatedGPU:
         label: str = "host",
         stream: str = "cpu",
         depends_on: Optional[Sequence[TimelineOp]] = None,
+        not_before: float = 0.0,
     ) -> TimelineOp:
         """Schedule CPU-side work (graph slicing, preparation, dispatch)."""
         return self.timeline.submit(
@@ -217,6 +222,7 @@ class SimulatedGPU:
             duration=seconds,
             stream=stream,
             depends_on=depends_on,
+            not_before=not_before,
         )
 
     # ------------------------------------------------------------------ metrics

@@ -62,11 +62,17 @@ class Timeline:
         stream: str = "default",
         depends_on: Optional[Sequence[TimelineOp]] = None,
         attrs: Optional[Dict[str, object]] = None,
+        not_before: float = 0.0,
     ) -> TimelineOp:
-        """Schedule an operation and return its placed record."""
+        """Schedule an operation and return its placed record.
+
+        ``not_before`` is an earliest-start constraint in timeline seconds;
+        the serving engine uses it to model work arriving while the device is
+        idle (a request cannot be processed before it arrives).
+        """
         if duration < 0:
             raise ValueError(f"duration must be >= 0, got {duration}")
-        ready = 0.0
+        ready = max(0.0, not_before)
         if depends_on:
             ready = max(ready, max(op.end for op in depends_on))
         ready = max(ready, self._stream_free.get(stream, 0.0))

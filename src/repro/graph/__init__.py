@@ -14,12 +14,14 @@ from repro.graph.frame import (
     partition_frame,
 )
 from repro.graph.overlap import (
+    IncrementalOverlapTracker,
     SnapshotOverlap,
     adjacent_change_rates,
     change_rate,
     extract_overlap,
     group_overlap_rate,
     pairwise_overlap_rate,
+    refine_overlap,
 )
 from repro.graph.smoothing import apply_edge_life, smoothened_edge_total
 from repro.graph.generators import GeneratorConfig, generate_dynamic_graph, TOPOLOGIES
@@ -49,12 +51,14 @@ __all__ = [
     "FrameIterator",
     "Partition",
     "partition_frame",
+    "IncrementalOverlapTracker",
     "SnapshotOverlap",
     "adjacent_change_rates",
     "change_rate",
     "extract_overlap",
     "group_overlap_rate",
     "pairwise_overlap_rate",
+    "refine_overlap",
     "apply_edge_life",
     "smoothened_edge_total",
     "GeneratorConfig",

@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.nn.aggregation import AggregationProvider
 from repro.nn.context import ExecutionContext
+from repro.tensor import no_grad
 from repro.tensor.nn.module import Module
 from repro.tensor.tensor import Tensor
 
@@ -79,3 +80,14 @@ class DGNNModel(Module):
             outs, state = self.forward_partition(provider, list(features), state, ctx)
             predictions.extend(outs)
         return predictions
+
+    def predict_frame(
+        self,
+        providers: Sequence[AggregationProvider],
+        feature_groups: Sequence[Sequence[Tensor]],
+        num_nodes: int,
+        ctx: ExecutionContext,
+    ) -> List[Tensor]:
+        """Forward-only :meth:`forward_frame` (no autograd tape) for serving."""
+        with no_grad():
+            return self.forward_frame(providers, feature_groups, num_nodes, ctx)

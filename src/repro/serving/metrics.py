@@ -1,0 +1,206 @@
+"""Serving-side metrics: request latency, throughput and cache efficiency.
+
+Records are kept per request so tail latency (p99) is a first-class
+quantity, the way online inference systems are actually judged.  The
+aggregate :class:`ServingReport` is convertible into the repo-wide
+:class:`~repro.baselines.results.TrainingResult` record, so serving runs
+compose with the existing comparison helpers (``speedup_over`` etc.) and
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines.results import TrainingResult
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Completion record of one request."""
+
+    request_id: int
+    batch_id: int
+    arrival_time: float
+    completion_time: float
+    num_nodes: int
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Completion record of one micro-batch."""
+
+    batch_id: int
+    size: int
+    s_per: int
+    formed_time: float
+    completion_time: float
+    transfer_bytes: float
+    cache_hits: int
+    cache_misses: int
+
+
+class ServingMetrics:
+    """Accumulates per-request and per-batch records during a serving run."""
+
+    def __init__(self) -> None:
+        self.requests: List[RequestRecord] = []
+        self.batches: List[BatchRecord] = []
+        self.deltas_ingested = 0
+        #: rows *invalidated* by deltas (patched only when reuse is enabled —
+        #: the session reports actual patches separately as ``rows_patched``)
+        self.rows_touched = 0
+
+    # -- recording -----------------------------------------------------------
+    def record_request(self, record: RequestRecord) -> None:
+        self.requests.append(record)
+
+    def record_batch(self, record: BatchRecord) -> None:
+        self.batches.append(record)
+
+    def record_delta(self, touched_rows: int) -> None:
+        self.deltas_ingested += 1
+        self.rows_touched += touched_rows
+
+    # -- aggregates ----------------------------------------------------------
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency for r in self.requests], dtype=np.float64)
+
+    def latency_percentile(self, q: float) -> float:
+        lat = self.latencies()
+        return float(np.percentile(lat, q)) if len(lat) else 0.0
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def mean_latency(self) -> float:
+        lat = self.latencies()
+        return float(lat.mean()) if len(lat) else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = sum(b.cache_hits for b in self.batches)
+        total = hits + sum(b.cache_misses for b in self.batches)
+        return hits / total if total else 0.0
+
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second over the active span."""
+        if not self.requests:
+            return 0.0
+        start = min(r.arrival_time for r in self.requests)
+        end = max(r.completion_time for r in self.requests)
+        span = end - start
+        return len(self.requests) / span if span > 0 else float("inf")
+
+    def mean_batch_size(self) -> float:
+        return float(np.mean([b.size for b in self.batches])) if self.batches else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": float(self.num_requests),
+            "batches": float(len(self.batches)),
+            "deltas": float(self.deltas_ingested),
+            "rows_touched": float(self.rows_touched),
+            "mean_batch_size": self.mean_batch_size(),
+            "p50_latency_ms": self.p50_latency * 1e3,
+            "p99_latency_ms": self.p99_latency * 1e3,
+            "mean_latency_ms": self.mean_latency * 1e3,
+            "throughput_rps": self.throughput_rps(),
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+@dataclass
+class ServingReport:
+    """End-to-end outcome of a serving run on the simulated device."""
+
+    engine: str
+    model: str
+    dataset: str
+    simulated_seconds: float
+    wall_seconds: float
+    metrics: ServingMetrics
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    reuse_stats: Dict[str, float] = field(default_factory=dict)
+    gpu_utilization: float = 0.0
+    peak_memory_bytes: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.metrics.p50_latency
+
+    @property
+    def p99_latency(self) -> float:
+        return self.metrics.p99_latency
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.metrics.throughput_rps()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.metrics.cache_hit_rate
+
+    def speedup_over(self, other: "ServingReport") -> float:
+        """Mean-latency advantage over another run of the same trace."""
+        mine = self.metrics.mean_latency
+        theirs = other.metrics.mean_latency
+        return theirs / mine if mine > 0 else float("inf")
+
+    def to_training_result(self, *, epochs: int = 1) -> TrainingResult:
+        """Project into the shared result record for cross-harness comparison."""
+        extras = dict(self.extras)
+        extras.update(self.metrics.summary())
+        extras.update({f"reuse_{k}": v for k, v in self.reuse_stats.items()})
+        return TrainingResult(
+            method=self.engine,
+            model=self.model,
+            dataset=self.dataset,
+            epochs=epochs,
+            simulated_seconds=self.simulated_seconds,
+            wall_seconds=self.wall_seconds,
+            final_loss=float("nan"),
+            breakdown=dict(self.breakdown),
+            gpu_utilization=self.gpu_utilization,
+            peak_memory_bytes=self.peak_memory_bytes,
+            extras=extras,
+        )
+
+    def format(self) -> str:
+        """Human-readable one-run summary (examples and benchmark logs)."""
+        s = self.metrics.summary()
+        lines = [
+            f"engine={self.engine} model={self.model} dataset={self.dataset}",
+            (
+                f"  requests={s['requests']:.0f} batches={s['batches']:.0f} "
+                f"deltas={s['deltas']:.0f} mean_batch={s['mean_batch_size']:.1f}"
+            ),
+            (
+                f"  latency p50={s['p50_latency_ms']:.3f} ms  "
+                f"p99={s['p99_latency_ms']:.3f} ms  mean={s['mean_latency_ms']:.3f} ms"
+            ),
+            (
+                f"  throughput={s['throughput_rps']:.0f} req/s  "
+                f"cache_hit_rate={s['cache_hit_rate']:.1%}  "
+                f"gpu_util={self.gpu_utilization:.1%}"
+            ),
+        ]
+        return "\n".join(lines)

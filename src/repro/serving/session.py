@@ -1,0 +1,217 @@
+"""Forward-only inference over the serving window.
+
+The session owns a trained DGNN model and turns the store's window into
+predictions.  It is the serving-side twin of the trainer's frame execution:
+partitions of the window run through the
+:class:`~repro.core.parallel_gnn.ParallelAggregationProvider` against the
+incrementally maintained overlap decomposition, first-layer aggregations are
+served from the :class:`~repro.core.reuse.ReuseManager`, and kernel costs are
+collected so the scheduler can account them on the simulated device.
+
+The paper's reuse insight (Fig. 7 ❸: a first-layer aggregation depends only
+on topology + raw features) becomes the serving fast path: when a delta
+arrives, only the delta-touched rows of the head version's aggregation are
+recomputed from the parent version's cached result — the other ~90+ % of
+rows carry over untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.data_prep import DataPreparer, PartitionData
+from repro.core.parallel_gnn import ParallelAggregationProvider
+from repro.core.reuse import ReuseManager
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.kernel_cost import KernelCost
+from repro.gpu.profiler import KernelCostCollector
+from repro.graph.sliced_csr import DEFAULT_SLICE_CAPACITY
+from repro.nn.base_model import DGNNModel
+from repro.nn.context import ExecutionContext
+from repro.serving.store import DeltaReport, IncrementalSnapshotStore
+from repro.tensor import observe_ops
+from repro.tensor.tensor import Tensor
+
+
+class InferenceSession:
+    """Runs a trained model forward over the store's serving window."""
+
+    def __init__(
+        self,
+        model: DGNNModel,
+        store: IncrementalSnapshotStore,
+        device: SimulatedGPU,
+        *,
+        reuse: Optional[ReuseManager] = None,
+        scale: float = 1.0,
+        slice_capacity: int = DEFAULT_SLICE_CAPACITY,
+        use_sliced_csr: bool = True,
+        enable_weight_reuse: bool = True,
+    ) -> None:
+        self.model = model
+        self.store = store
+        self.device = device
+        self.reuse = reuse if reuse is not None else ReuseManager(device)
+        self.scale = scale
+        self.slice_capacity = slice_capacity
+        self.use_sliced_csr = use_sliced_csr
+        self.enable_weight_reuse = enable_weight_reuse
+        self.context = ExecutionContext(spec=device.spec, scale=scale)
+        self.preparer = DataPreparer(slice_capacity, device.host, use_sliced_csr=use_sliced_csr)
+        #: providers/partitions keyed by (window versions, s_per); cleared on every delta
+        self._provider_cache: Dict[Tuple[Tuple[int, ...], int], List[ParallelAggregationProvider]] = {}
+        self._partition_cache: Dict[Tuple[Tuple[int, ...], int], List[PartitionData]] = {}
+        self.rows_patched = 0
+        self.full_recomputes = 0
+
+    # ------------------------------------------------------------------ deltas
+    def refresh(self, report: DeltaReport) -> float:
+        """Maintain the reuse cache after a delta; returns analytic host seconds.
+
+        Evicted versions are invalidated outright.  The new head version's
+        first-layer aggregation is derived from the parent version's cached
+        result by recomputing only the delta-touched rows; if the parent was
+        never cached (cold start, reuse disabled) the head stays uncached and
+        the next forward pass computes it in full.
+        """
+        self._provider_cache.clear()
+        self._partition_cache.clear()
+        if report.evicted_version is not None:
+            self.reuse.invalidate([report.evicted_version])
+        if not self.reuse.enabled:
+            return 0.0
+        parent = self.reuse.peek(report.parent_version)
+        if parent is None:
+            self.full_recomputes += 1
+            return 0.0
+        head = self.store.snapshot(report.version)
+        patched = np.array(parent, copy=True)
+        touched = report.touched_rows
+        if len(touched):
+            sub = head.adjacency.to_scipy()[touched] @ head.features
+            degree = head.adjacency.row_nnz()[touched].astype(np.float32)
+            patched[touched] = (head.features[touched] + sub) / (degree + 1.0)[:, None]
+            self.rows_patched += len(touched)
+        self.reuse.store(report.version, patched)
+        # Patching touched rows is a small gather/SpMM on the host copy.
+        flops = 2.0 * max(1, len(touched)) * self.store.feature_dim
+        return flops * 1e-9  # ~1 GFLOP/s conservative host estimate
+
+    # ------------------------------------------------------------------ providers
+    def _partition_positions(self, s_per: int) -> List[List[int]]:
+        window = self.store.window_size
+        s_per = max(1, min(s_per, window))
+        return [list(range(start, min(start + s_per, window))) for start in range(0, window, s_per)]
+
+    def partitions_for(self, s_per: int) -> List[PartitionData]:
+        """Prepared partition data for the current window at ``s_per``.
+
+        Built from the store's incrementally refined decompositions and
+        cached until the next delta changes the window (shared by provider
+        construction and transfer-size accounting).
+        """
+        key = (tuple(self.store.window_versions()), s_per)
+        cached = self._partition_cache.get(key)
+        if cached is not None:
+            return cached
+        snapshots = self.store.window_snapshots()
+        partitions = [
+            self.preparer.prepare_from_decomposition(
+                [snapshots[p] for p in positions],
+                self.store.partition_decomposition(positions),
+            )
+            for positions in self._partition_positions(s_per)
+        ]
+        self._partition_cache[key] = partitions
+        return partitions
+
+    def providers_for(self, s_per: int) -> List[ParallelAggregationProvider]:
+        """Partition providers for the current window at parallelism ``s_per``.
+
+        Providers are built from the cached partition data and themselves
+        cached until the next delta changes the window.
+        """
+        key = (tuple(self.store.window_versions()), s_per)
+        cached = self._provider_cache.get(key)
+        if cached is not None:
+            return cached
+        providers: List[ParallelAggregationProvider] = []
+        for partition in self.partitions_for(s_per):
+            providers.append(
+                ParallelAggregationProvider(
+                    partition,
+                    spec=self.device.spec,
+                    scale=self.scale,
+                    cache=self.reuse if self.reuse.enabled else None,
+                    reusable_layers=(
+                        self.model.reusable_aggregation_layers if self.reuse.enabled else ()
+                    ),
+                    slice_capacity=self.slice_capacity,
+                    use_sliced_csr=self.use_sliced_csr,
+                )
+            )
+        self._provider_cache[key] = providers
+        return providers
+
+    # ------------------------------------------------------------------ prediction
+    def predict(
+        self, node_ids: np.ndarray, *, s_per: int = 1
+    ) -> Tuple[np.ndarray, List[KernelCost]]:
+        """Predict for the given nodes at the head version.
+
+        Runs the recurrent model forward-only across the whole window (the
+        hidden state needs the history), reads the head-snapshot prediction
+        rows for ``node_ids`` and returns them together with the kernel costs
+        the scheduler should account on the device.
+        """
+        snapshots = self.store.window_snapshots()
+        providers = self.providers_for(s_per)
+        positions = self._partition_positions(s_per)
+        feature_groups: List[List[Tensor]] = [
+            [Tensor(snapshots[p].features) for p in group] for group in positions
+        ]
+        collector = KernelCostCollector(
+            self.device.spec, num_nodes=self.store.num_nodes, scale=self.scale
+        )
+        ctx = self.context
+        if self.enable_weight_reuse and not self.model.evolves_weights:
+            ctx = ctx.with_reuse_group(max(len(g) for g in positions))
+        with observe_ops(collector):
+            predictions = self.model.predict_frame(
+                providers, feature_groups, self.store.num_nodes, ctx
+            )
+        head_prediction = predictions[-1].data
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        return head_prediction[node_ids], collector.drain()
+
+    # ------------------------------------------------------------------ transfer planning
+    def partition_transfer_bytes(self, s_per: int) -> float:
+        """Host→device bytes a batch needs given current cache/residency state.
+
+        Mirrors the trainer's partition accounting: cached snapshots ship the
+        (smaller) aggregation result unless GPU-resident; uncached ones ship
+        raw features plus their share of the overlap-decomposed adjacency.
+        """
+        nbytes = 0.0
+        for partition in self.partitions_for(s_per):
+            topology_needed = False
+            for snapshot in partition.snapshots:
+                if self.reuse.has_cached(snapshot.timestep):
+                    if not self.reuse.is_gpu_resident(snapshot.timestep):
+                        nbytes += snapshot.num_nodes * snapshot.feature_dim * 4
+                    if self.model.needs_topology_with_reuse:
+                        topology_needed = True
+                else:
+                    nbytes += snapshot.feature_bytes()
+                    topology_needed = True
+            if topology_needed:
+                nbytes += partition.adjacency_bytes
+        return nbytes * self.scale
+
+    def stats(self) -> Dict[str, float]:
+        data = dict(self.reuse.stats())
+        data["rows_patched"] = float(self.rows_patched)
+        data["full_recomputes"] = float(self.full_recomputes)
+        return data

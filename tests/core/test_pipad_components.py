@@ -127,6 +127,53 @@ class TestReuseManager:
         manager.clear()
         assert manager.lookup(1) is None
 
+    def test_invalidate_drops_entries_and_residency(self):
+        manager = ReuseManager(SimulatedGPU())
+        for t in range(3):
+            manager.store(t, np.ones(4, dtype=np.float32))
+        manager.plan_gpu_residency([0, 1, 2], {t: 16 for t in range(3)})
+        removed = manager.invalidate([0, 2, 99])
+        assert removed == 2
+        assert manager.lookup(0) is None and manager.lookup(2) is None
+        assert not manager.is_gpu_resident(0) and not manager.is_gpu_resident(2)
+        assert manager.has_cached(1)
+
+    def test_topology_delta_forces_recomputation(self, small_graph):
+        """A stale cache entry must not survive a topology change: after
+        ``invalidate`` the provider recomputes against the new adjacency and
+        produces the (different) correct result."""
+        manager = ReuseManager(SimulatedGPU())
+        old = small_graph[0]
+        x = Tensor(old.features)
+        provider = SequentialAggregationProvider([old], cache=manager, spec=SPEC)
+        (before,) = provider.aggregate_many(0, [x])
+        assert manager.has_cached(old.timestep)
+
+        # Simulate a delta hitting snapshot 0's topology: snapshot 1 has a
+        # different edge set but keeps the timestep/version key.
+        from repro.graph import GraphSnapshot
+
+        changed = GraphSnapshot(
+            adjacency=small_graph[1].adjacency,
+            features=old.features,
+            timestep=old.timestep,
+        )
+        # Without invalidation the stale result would be served verbatim.
+        stale_provider = SequentialAggregationProvider([changed], cache=manager, spec=SPEC)
+        (stale,) = stale_provider.aggregate_many(0, [x])
+        np.testing.assert_allclose(stale.data, before.data)
+
+        manager.invalidate([old.timestep])
+        fresh_provider = SequentialAggregationProvider([changed], cache=manager, spec=SPEC)
+        (fresh,) = fresh_provider.aggregate_many(0, [x])
+        assert fresh_provider.cache_misses == 1
+        assert not np.allclose(fresh.data, before.data)
+        degree = changed.adjacency.row_nnz().astype(np.float32)
+        expected = (
+            old.features + changed.adjacency.matmul_dense(old.features)
+        ) / (degree + 1.0)[:, None]
+        np.testing.assert_allclose(fresh.data, expected, rtol=1e-5, atol=1e-6)
+
 
 class TestOfflineAnalysisAndTuner:
     def test_build_overlap_group_hits_target_rate(self):

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.graph import (
     CSRMatrix,
     GeneratorConfig,
+    IncrementalOverlapTracker,
     apply_edge_life,
     change_rate,
     extract_overlap,
@@ -19,6 +20,7 @@ from repro.graph import (
     list_datasets,
     load_dataset,
     pairwise_overlap_rate,
+    refine_overlap,
     smoothened_edge_total,
     summarize,
 )
@@ -85,6 +87,109 @@ class TestOverlap:
             assert np.all(np.isin(overlap_keys, keys))
             assert np.array_equal(np.union1d(overlap_keys, exclusive.edge_keys()), keys)
             assert len(np.intersect1d(overlap_keys, exclusive.edge_keys())) == 0
+
+
+class TestIncrementalOverlapTracker:
+    def test_empty_delta_keeps_full_overlap(self):
+        """Pushing an unchanged adjacency (empty delta) leaves the overlap
+        equal to the snapshot itself and all exclusives empty."""
+        adj = make_adj([1, 5, 9])
+        tracker = IncrementalOverlapTracker(adj.shape, capacity=3)
+        for version in range(3):
+            tracker.push(version, adj)
+        result = tracker.decomposition()
+        assert result.overlap_rate == pytest.approx(1.0)
+        assert np.array_equal(result.overlap.edge_keys(), adj.edge_keys())
+        assert all(e.nnz == 0 for e in result.exclusives)
+
+    def test_delta_removing_overlap_edge_demotes_it(self):
+        """An edge shared by the whole window leaves the overlap as soon as
+        one pushed version drops it."""
+        tracker = IncrementalOverlapTracker((20, 20), capacity=3)
+        tracker.push(0, make_adj([1, 5, 9]))
+        tracker.push(1, make_adj([1, 5, 9]))
+        assert 5 in tracker.decomposition().overlap.edge_keys().tolist()
+        tracker.push(2, make_adj([1, 9]))  # delta removed edge key 5
+        result = tracker.decomposition()
+        assert 5 not in result.overlap.edge_keys().tolist()
+        assert result.overlap.edge_keys().tolist() == [1, 9]
+        # The survivors still hold 5 in their exclusives.
+        assert 5 in result.exclusives[0].edge_keys().tolist()
+        assert 5 in result.exclusives[1].edge_keys().tolist()
+        assert result.exclusives[2].nnz == 0
+
+    def test_eviction_can_grow_overlap(self):
+        """Evicting the one window member that lacked an edge promotes that
+        edge back into the intersection."""
+        tracker = IncrementalOverlapTracker((20, 20), capacity=2)
+        tracker.push(0, make_adj([1, 9]))  # lacks 5
+        tracker.push(1, make_adj([1, 5, 9]))
+        assert 5 not in tracker.decomposition().overlap.edge_keys().tolist()
+        evicted = tracker.push(2, make_adj([1, 5, 9]))
+        assert evicted == 0
+        assert 5 in tracker.decomposition().overlap.edge_keys().tolist()
+
+    def test_single_snapshot_window(self):
+        """A single-snapshot partition is pure overlap (rate 1, no exclusive)."""
+        adj = make_adj([2, 7])
+        tracker = IncrementalOverlapTracker(adj.shape, capacity=4)
+        tracker.push(0, adj)
+        result = tracker.decomposition()
+        assert result.group_size == 1
+        assert result.overlap_rate == pytest.approx(1.0)
+        assert np.array_equal(result.overlap.edge_keys(), adj.edge_keys())
+        assert result.exclusives[0].nnz == 0
+
+    def test_matches_extract_overlap_under_random_churn(self, small_graph):
+        tracker = IncrementalOverlapTracker(
+            small_graph[0].adjacency.shape, capacity=4
+        )
+        window = []
+        for snap in small_graph.snapshots:
+            tracker.push(snap.timestep, snap.adjacency)
+            window.append(snap.adjacency)
+            window = window[-4:]
+            scratch = extract_overlap(window)
+            incremental = tracker.decomposition()
+            assert np.array_equal(
+                incremental.overlap.edge_keys(), scratch.overlap.edge_keys()
+            )
+            assert incremental.overlap_rate == pytest.approx(scratch.overlap_rate)
+
+    def test_empty_window_rejected(self):
+        tracker = IncrementalOverlapTracker((4, 4), capacity=2)
+        with pytest.raises(ValueError):
+            tracker.decomposition()
+
+
+class TestRefineOverlap:
+    def test_subgroup_matches_direct_extraction(self, small_graph):
+        adjs = [small_graph[i].adjacency for i in range(4)]
+        full = extract_overlap(adjs)
+        for subset in ([0, 1], [1, 2, 3], [2]):
+            refined = refine_overlap(full, subset)
+            direct = extract_overlap([adjs[i] for i in subset])
+            assert np.array_equal(
+                refined.overlap.edge_keys(), direct.overlap.edge_keys()
+            )
+            for a, b in zip(refined.exclusives, direct.exclusives):
+                assert np.array_equal(a.edge_keys(), b.edge_keys())
+            assert refined.overlap_rate == pytest.approx(direct.overlap_rate)
+
+    def test_single_member_is_pure_overlap(self, small_graph):
+        adjs = [small_graph[i].adjacency for i in range(3)]
+        full = extract_overlap(adjs)
+        refined = refine_overlap(full, [1])
+        assert np.array_equal(refined.overlap.edge_keys(), adjs[1].edge_keys())
+        assert refined.exclusives[0].nnz == 0
+        assert refined.overlap_rate == pytest.approx(1.0)
+
+    def test_invalid_indices_rejected(self, small_graph):
+        full = extract_overlap([small_graph[0].adjacency, small_graph[1].adjacency])
+        with pytest.raises(ValueError):
+            refine_overlap(full, [])
+        with pytest.raises(IndexError):
+            refine_overlap(full, [5])
 
 
 class TestSmoothing:
