@@ -22,6 +22,8 @@ Sub-packages
 - :mod:`repro.baselines` — PyGT and its PyGT-A / PyGT-R / PyGT-G variants.
 - :mod:`repro.serving` — streaming inference: incremental snapshot store,
   forward-only sessions, micro-batching and the pipelined serving scheduler.
+- :mod:`repro.distributed` — multi-GPU sharding: graph partitioner, device
+  group with ring collectives, data-parallel trainer and sharded serving.
 - :mod:`repro.profiling` — breakdowns, utilization, load-balance analysis.
 - :mod:`repro.experiments` — one module per paper table/figure.
 
@@ -55,6 +57,14 @@ _LAZY_EXPORTS = {
     # PiPAD runtime
     "PiPADConfig": "repro.core",
     "PiPADTrainer": "repro.core",
+    # distributed execution
+    "DistributedConfig": "repro.distributed",
+    "DistributedTrainer": "repro.distributed",
+    "DeviceGroup": "repro.distributed",
+    "GraphPartitioner": "repro.distributed",
+    "Interconnect": "repro.distributed",
+    "ShardedServingEngine": "repro.distributed",
+    "build_sharded_serving_engine": "repro.distributed",
     # baselines
     "PyGTTrainer": "repro.baselines",
     "PyGTAsyncTrainer": "repro.baselines",

@@ -30,6 +30,7 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.frame import DEFAULT_FRAME_SIZE, Frame, FrameIterator
 from repro.graph.snapshot import GraphSnapshot
 from repro.gpu.device import SimulatedGPU
+from repro.gpu.kernel_cost import KernelCost
 from repro.gpu.profiler import KernelCostCollector
 from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
 from repro.gpu.timeline import TimelineOp
@@ -228,6 +229,48 @@ class DGNNTrainerBase:
     def _before_frame(self, frame: Frame, epoch: int) -> None:
         """Hook invoked before each frame (PiPAD plans GPU-buffer residency here)."""
 
+    def _launch_partition_kernels(
+        self,
+        costs: Sequence[KernelCost],
+        snapshots: Sequence[GraphSnapshot],
+        transfer_ops: Sequence[TimelineOp],
+        last_compute: Sequence[TimelineOp],
+    ) -> List[TimelineOp]:
+        """Account one partition's forward kernels on the device(s).
+
+        The distributed trainer overrides this to fan the launches out across
+        a device group with per-shard cost scaling; the default schedules on
+        the single simulated device.
+        """
+        self.device.host_op(
+            self._dispatch_seconds(sum(c.launches for c in costs)),
+            label="dispatch",
+            stream=self._dispatch_stream(),
+        )
+        return self.device.launch_kernels(
+            costs,
+            label=f"fwd_t{snapshots[0].timestep}",
+            stream=self._compute_stream(),
+            depends_on=list(transfer_ops) + list(last_compute),
+        )
+
+    def _launch_backward(
+        self, costs: Sequence[KernelCost], last_compute: Sequence[TimelineOp]
+    ) -> List[TimelineOp]:
+        """Account the frame's backward kernels (and, distributed, the gradient
+        all-reduce that follows them)."""
+        self.device.host_op(
+            self._dispatch_seconds(sum(c.launches for c in costs)),
+            label="dispatch_bwd",
+            stream=self._dispatch_stream(),
+        )
+        return self.device.launch_kernels(
+            costs,
+            label="backward",
+            stream=self._compute_stream(),
+            depends_on=list(last_compute),
+        )
+
     def _train_frame(self, frame: Frame, epoch: int) -> float:
         """Run forward/backward/update for one frame; returns the frame loss."""
         self._before_frame(frame, epoch)
@@ -246,17 +289,7 @@ class DGNNTrainerBase:
                     provider, features, state, self._partition_context(snapshots)
                 )
             costs = collector.drain()
-            self.device.host_op(
-                self._dispatch_seconds(sum(c.launches for c in costs)),
-                label="dispatch",
-                stream=self._dispatch_stream(),
-            )
-            ops = self.device.launch_kernels(
-                costs,
-                label=f"fwd_t{snapshots[0].timestep}",
-                stream=self._compute_stream(),
-                depends_on=list(transfer_ops) + last_compute,
-            )
+            ops = self._launch_partition_kernels(costs, snapshots, transfer_ops, last_compute)
             last_compute = ops[-1:] if ops else last_compute
             predictions.extend(outs)
 
@@ -266,17 +299,7 @@ class DGNNTrainerBase:
             loss = mse_loss(predictions[-1], target)
             loss.backward()
         backward_costs = collector.drain()
-        self.device.host_op(
-            self._dispatch_seconds(sum(c.launches for c in backward_costs)),
-            label="dispatch_bwd",
-            stream=self._dispatch_stream(),
-        )
-        self.device.launch_kernels(
-            backward_costs,
-            label="backward",
-            stream=self._compute_stream(),
-            depends_on=last_compute,
-        )
+        self._launch_backward(backward_costs, last_compute)
         # Optimizer step: small elementwise kernels over every parameter.
         self.optimizer.step()
         self.optimizer.zero_grad()

@@ -13,6 +13,7 @@ from repro.core.tuner import (
     build_overlap_group,
 )
 from repro.core.trainer import PiPADTrainer
+from repro.core.distributed_trainer import DistributedConfig, DistributedTrainer
 
 __all__ = [
     "PiPADConfig",
@@ -27,4 +28,6 @@ __all__ = [
     "TuningDecision",
     "build_overlap_group",
     "PiPADTrainer",
+    "DistributedConfig",
+    "DistributedTrainer",
 ]

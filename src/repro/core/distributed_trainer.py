@@ -1,0 +1,338 @@
+"""Data-parallel multi-GPU training over node-sharded snapshot frames.
+
+:class:`DistributedTrainer` wraps the PiPAD trainer with the distributed
+execution model of :mod:`repro.distributed`:
+
+- the node set is sharded across ``K`` devices by a
+  :class:`~repro.graph.partition.GraphPartitioner` (edge-balanced ranges
+  with halo-node bookkeeping);
+- every device runs the PiPAD pipeline on its shard — per-shard transfers,
+  overlap-decomposed adjacencies and kernels scaled to the shard's share of
+  the work — on its own timeline inside a
+  :class:`~repro.gpu.device_group.DeviceGroup`;
+- remote inputs move as collectives on the interconnect: a ``halo_exchange``
+  ships neighbor features before each partition's aggregation, an
+  ``all_gather`` synchronizes the recurrent hidden state after each
+  partition, and the partial gradients of the shard replicas are combined by
+  a ring ``all_reduce`` after every frame's backward pass.
+
+Numerics are unchanged: the model still trains on the full graph exactly as
+the single-GPU trainer does (losses are bit-identical); the device group
+only accounts for *when* the sharded execution of the same work would finish
+on ``K`` devices.  Preparing/profiling epochs run in the canonical manner on
+the lead device, mirroring PiPAD's single-device preparing phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import TrainerConfig
+from repro.baselines.results import TrainingResult
+from repro.core.config import PiPADConfig
+from repro.core.trainer import PiPADTrainer
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.device_group import DeviceGroup
+from repro.gpu.interconnect import Interconnect
+from repro.gpu.kernel_cost import CATEGORY_AGGREGATION, KernelCost
+from repro.gpu.timeline import TimelineOp
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.partition import GraphPartitioner
+from repro.graph.snapshot import GraphSnapshot
+from repro.utils.validation import check_positive
+
+#: smallest per-device cost fraction (guards ``KernelCost.scaled`` against
+#: degenerate shards that own nodes but no edges in some snapshot)
+_MIN_FRACTION = 1e-9
+
+
+@dataclass(frozen=True)
+class DistributedConfig:
+    """Knobs of the multi-GPU execution model."""
+
+    #: number of devices the node set is sharded across
+    num_devices: int = 2
+    #: node-assignment strategy of the partitioner (``"edges"`` balances the
+    #: aggregation work; ``"nodes"`` gives equal-sized ranges)
+    partition_mode: str = "edges"
+    #: peer-link model between devices (``"nvlink"`` or ``"pcie"``)
+    interconnect: str = "nvlink"
+
+    def __post_init__(self) -> None:
+        check_positive("num_devices", self.num_devices)
+
+
+class DistributedTrainer(PiPADTrainer):
+    """PiPAD training sharded node-wise across a simulated device group."""
+
+    method_name = "PiPAD-DP"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        config: Optional[TrainerConfig] = None,
+        pipad_config: Optional[PiPADConfig] = None,
+        dist_config: Optional[DistributedConfig] = None,
+    ) -> None:
+        self.dist = dist_config or DistributedConfig()
+        super().__init__(graph, config, pipad_config)
+        devices: List[SimulatedGPU] = [self.device]
+        devices += [
+            SimulatedGPU(
+                self.config.gpu,
+                self.config.pcie,
+                self.config.host,
+                use_cuda_graph=self.use_cuda_graph,
+            )
+            for _ in range(self.dist.num_devices - 1)
+        ]
+        self.group = DeviceGroup(
+            devices=devices,
+            interconnect_kind=self.dist.interconnect,
+        )
+        self.partitioner = GraphPartitioner(
+            self.dist.num_devices, mode=self.dist.partition_mode
+        )
+        # Cheap provisional plan; _run_preprocessing replans (and computes the
+        # halo/edge statistics, an O(devices x snapshots x edges) sharding
+        # pass) right before the first steady-state frame can consume them.
+        self.boundaries = self.partitioner.plan(graph.snapshots)
+        self._node_fractions = self.partitioner.node_fractions(self.boundaries)
+        self._edge_fractions = np.full(
+            self.dist.num_devices, 1.0 / self.dist.num_devices
+        )
+        self._halo_nodes = np.zeros(self.dist.num_devices)
+        self._gradient_bytes = float(
+            sum(p.data.nbytes for p in self.model.parameters())
+        )
+        #: per-device ops the next partition's compute must wait for
+        self._shard_ready: List[List[TimelineOp]] = [[] for _ in devices]
+        self._halo_bytes_total = 0.0
+
+    # ------------------------------------------------------------------ cost sharing
+    def _cost_fraction(self, device: int, cost: KernelCost) -> float:
+        """Share of one kernel's work that lands on ``device``'s shard.
+
+        Aggregation work follows the shard's edges; dense update/RNN/
+        elementwise work follows its node count.
+        """
+        if cost.category == CATEGORY_AGGREGATION:
+            return max(float(self._edge_fractions[device]), _MIN_FRACTION)
+        return max(float(self._node_fractions[device]), _MIN_FRACTION)
+
+    def _halo_feature_bytes(self, device: int) -> float:
+        return float(
+            self._halo_nodes[device] * self.graph.feature_dim * 4.0 * self.scale
+        )
+
+    def _shard_state_bytes(self, device: int) -> float:
+        """Hidden-state rows a device contributes to the post-partition sync."""
+        nodes = float(self.boundaries[device + 1] - self.boundaries[device])
+        return nodes * self._hidden_dim * 4.0 * self.scale
+
+    def _measured_node_weight(self) -> float:
+        """Dense per-node work in units of per-edge aggregation work.
+
+        Calibrated from the preparing-epoch kernel statistics, the same
+        source the dynamic tuner feeds on; without them (``preparing_epochs
+        == 0``) the node and edge masses are weighted equally.
+        """
+        mean_edges = float(
+            np.mean([s.num_edges for s in self.graph.snapshots])
+        )
+        fallback = mean_edges / max(1.0, float(self.graph.num_nodes))
+        stats = self.device.kernel_stats
+        aggregation = stats[CATEGORY_AGGREGATION].seconds
+        dense = sum(
+            s.seconds for cat, s in stats.items() if cat != CATEGORY_AGGREGATION
+        )
+        if aggregation <= 0 or dense <= 0 or mean_edges == 0:
+            return fallback
+        per_edge = aggregation / mean_edges
+        per_node = dense / float(self.graph.num_nodes)
+        return per_node / per_edge
+
+    def _replan(self) -> None:
+        """Re-balance the shard boundaries once kernel statistics exist."""
+        self.boundaries = self.partitioner.plan(
+            self.graph.snapshots, node_weight=self._measured_node_weight()
+        )
+        self._node_fractions = self.partitioner.node_fractions(self.boundaries)
+        self._edge_fractions = self.partitioner.edge_fractions(
+            self.graph.snapshots, self.boundaries
+        )
+        self._halo_nodes = self.partitioner.mean_halo_nodes(
+            self.graph.snapshots, self.boundaries
+        )
+
+    def _run_preprocessing(self) -> None:
+        super()._run_preprocessing()
+        self._replan()
+
+    # ------------------------------------------------------------------ execution overrides
+    def _transfer_partition(
+        self,
+        snapshots: Sequence[GraphSnapshot],
+        depends_on: Optional[Sequence[TimelineOp]],
+    ) -> List[TimelineOp]:
+        if self._preparing:
+            return super()._transfer_partition(snapshots, depends_on)
+        total_bytes = self._partition_transfer_bytes(snapshots)
+        prep_seconds = self._host_prep_seconds(snapshots)
+        host_stream = "cpu"
+        copy_stream = "copy" if self.pipad.enable_pipeline else "default"
+        transfer_ops: List[List[TimelineOp]] = []
+        halo_bytes: List[float] = []
+        for index, device in enumerate(self.group.devices):
+            fraction = max(float(self._node_fractions[index]), _MIN_FRACTION)
+            host_op = device.host_op(
+                prep_seconds * fraction,
+                label="host_prep",
+                stream=host_stream,
+            )
+            deps = [host_op] if depends_on is None else [host_op, *depends_on]
+            transfer = device.transfer_h2d(
+                total_bytes * fraction,
+                label=f"h2d_p{snapshots[0].timestep}",
+                stream=copy_stream,
+                pinned=self.pipad.enable_pipeline,
+                depends_on=deps,
+            )
+            transfer_ops.append([transfer])
+            halo_bytes.append(self._halo_feature_bytes(index))
+        if self.group.num_devices == 1:
+            return transfer_ops[0]
+        self._halo_bytes_total += sum(halo_bytes)
+        halo_ops = self.group.halo_exchange(
+            halo_bytes,
+            label=f"halo_p{snapshots[0].timestep}",
+            depends_on=transfer_ops,
+        )
+        return halo_ops
+
+    def _launch_partition_kernels(
+        self,
+        costs: Sequence[KernelCost],
+        snapshots: Sequence[GraphSnapshot],
+        transfer_ops: Sequence[TimelineOp],
+        last_compute: Sequence[TimelineOp],
+    ) -> List[TimelineOp]:
+        if self._preparing or self.group.num_devices == 1:
+            return super()._launch_partition_kernels(
+                costs, snapshots, transfer_ops, last_compute
+            )
+        compute_stream = self._compute_stream()
+        per_device_last: List[List[TimelineOp]] = []
+        for index, device in enumerate(self.group.devices):
+            shard_costs = [c.scaled(self._cost_fraction(index, c)) for c in costs]
+            device.host_op(
+                self._dispatch_seconds(sum(c.launches for c in shard_costs)),
+                label="dispatch",
+                stream=self._dispatch_stream(),
+            )
+            deps = list(transfer_ops) + list(last_compute) + self._shard_ready[index]
+            ops = device.launch_kernels(
+                shard_costs,
+                label=f"fwd_t{snapshots[0].timestep}",
+                stream=compute_stream,
+                depends_on=deps,
+            )
+            per_device_last.append(ops[-1:])
+        # The recurrent state of remote nodes feeds the next partition's
+        # aggregation, so shard results are all-gathered before moving on.
+        sync_ops = self.group.all_gather(
+            max(self._shard_state_bytes(k) for k in range(self.group.num_devices)),
+            label=f"state_sync_t{snapshots[0].timestep}",
+            depends_on=per_device_last,
+        )
+        self._shard_ready = [[op] for op in sync_ops]
+        # The lead device's sync op carries the synchronized end time, so the
+        # base class's ``last_compute`` chaining stays correct.
+        return [sync_ops[0]]
+
+    def _launch_backward(
+        self, costs: Sequence[KernelCost], last_compute: Sequence[TimelineOp]
+    ) -> List[TimelineOp]:
+        if self._preparing or self.group.num_devices == 1:
+            return super()._launch_backward(costs, last_compute)
+        per_device_last: List[List[TimelineOp]] = []
+        for index, device in enumerate(self.group.devices):
+            shard_costs = [c.scaled(self._cost_fraction(index, c)) for c in costs]
+            device.host_op(
+                self._dispatch_seconds(sum(c.launches for c in shard_costs)),
+                label="dispatch_bwd",
+                stream=self._dispatch_stream(),
+            )
+            ops = device.launch_kernels(
+                shard_costs,
+                label="backward",
+                stream=self._compute_stream(),
+                depends_on=list(last_compute) + self._shard_ready[index],
+            )
+            per_device_last.append(ops[-1:])
+        # Shard replicas hold partial gradients; combine them before the
+        # optimizer step so every replica applies the same update.
+        reduce_ops = self.group.all_reduce(
+            self._gradient_bytes,
+            label="grad_all_reduce",
+            depends_on=per_device_last,
+        )
+        self._shard_ready = [[op] for op in reduce_ops]
+        return [reduce_ops[0]]
+
+    # ------------------------------------------------------------------ reporting
+    def train(self, epochs: Optional[int] = None) -> TrainingResult:
+        """Train and report group-wide quantities.
+
+        The base class fills the result from the lead device, which in steady
+        state only carries its ~1/K shard of the work; every extensive
+        counter is therefore re-aggregated across the whole group so the
+        record describes the run, not one shard.  ``epoch_metrics`` stay the
+        lead-device view (their simulated seconds track the group clock —
+        collectives keep the devices in lockstep — but their kind-seconds
+        are shard-local).
+        """
+        result = super().train(epochs)
+        result.simulated_seconds = self.group.makespan()
+        result.breakdown = self.group.breakdown()
+        if self.group.num_devices > 1:
+            category: Dict[str, float] = {}
+            for device in self.group:
+                for cat, seconds in device.category_seconds().items():
+                    category[cat] = category.get(cat, 0.0) + seconds
+            result.category_seconds = category
+            result.kernel_launches = sum(
+                stats.launches
+                for device in self.group
+                for stats in device.kernel_stats.values()
+            )
+            result.peak_memory_bytes = max(d.peak_bytes for d in self.group)
+            result.memory_requests = sum(
+                d.memory_statistics()["requests"] for d in self.group
+            )
+            result.memory_transactions = sum(
+                d.memory_statistics()["transactions"] for d in self.group
+            )
+            result.gpu_utilization = float(
+                np.mean([d.gpu_utilization() for d in self.group])
+            )
+            result.sm_utilization = float(
+                np.mean([d.sm_utilization() for d in self.group])
+            )
+        return result
+
+    def _extra_metrics(self) -> Dict[str, float]:
+        extras = super()._extra_metrics()
+        extras["num_devices"] = float(self.group.num_devices)
+        extras["halo_feature_bytes"] = self._halo_bytes_total
+        for kind, seconds in self.group.collective_seconds.items():
+            extras[f"{kind}_seconds"] = seconds
+        device_seconds = self.group.device_seconds()
+        extras["device_seconds_max"] = float(max(device_seconds))
+        extras["device_seconds_min"] = float(min(device_seconds))
+        balance = np.array(self._edge_fractions, dtype=np.float64)
+        extras["edge_fraction_spread"] = float(balance.max() - balance.min())
+        return extras

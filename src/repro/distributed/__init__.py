@@ -1,0 +1,48 @@
+"""Multi-GPU sharded execution: partitioner → device group → collectives → trainer.
+
+This package is the façade of the distributed subsystem; the implementation
+lives next to its single-device counterparts so each layer stays cohesive:
+
+- :class:`~repro.graph.partition.GraphPartitioner` (``repro.graph``) shards
+  the node set across devices with halo-node bookkeeping and per-shard
+  overlap decompositions;
+- :class:`~repro.gpu.interconnect.Interconnect` and
+  :class:`~repro.gpu.device_group.DeviceGroup` (``repro.gpu``) model the
+  NVLink/PCIe peer links and coordinate ``K`` simulated-GPU timelines with
+  cross-device dependency edges and ring collectives;
+- :class:`~repro.core.distributed_trainer.DistributedTrainer`
+  (``repro.core``) runs data-parallel PiPAD training over the shards with
+  halo exchanges, state all-gathers and per-frame gradient all-reduce;
+- :class:`ShardedServingEngine` (here) is the sharded entry point for the
+  streaming serving scheduler: requests fan out across per-device serving
+  replicas while graph deltas broadcast to every shard.
+"""
+
+from repro.core.distributed_trainer import DistributedConfig, DistributedTrainer
+from repro.distributed.serving import ShardedServingEngine, build_sharded_serving_engine
+from repro.gpu.device_group import COMM_STREAM, RESOURCE_PEER_LINK, DeviceGroup
+from repro.gpu.interconnect import NVLINK, PCIE_PEER, Interconnect, LinkSpec
+from repro.graph.partition import (
+    PARTITION_MODES,
+    GraphPartitioner,
+    ShardGroup,
+    SnapshotShard,
+)
+
+__all__ = [
+    "COMM_STREAM",
+    "DeviceGroup",
+    "DistributedConfig",
+    "DistributedTrainer",
+    "GraphPartitioner",
+    "Interconnect",
+    "LinkSpec",
+    "NVLINK",
+    "PARTITION_MODES",
+    "PCIE_PEER",
+    "RESOURCE_PEER_LINK",
+    "ShardGroup",
+    "ShardedServingEngine",
+    "SnapshotShard",
+    "build_sharded_serving_engine",
+]

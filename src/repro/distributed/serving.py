@@ -1,0 +1,216 @@
+"""Sharded entry point for the streaming serving scheduler.
+
+Scales the single-device :class:`~repro.serving.scheduler.ServingScheduler`
+to a device group the way online inference tiers actually shard: one full
+serving replica (store + session + simulated GPU) per device, request
+traffic routed across the replicas, and graph deltas broadcast to all of
+them so every shard serves the same head version.  Routing is deterministic
+round-robin, so a trace replay is reproducible run to run — the property
+the golden determinism test locks in for the single-device engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
+from repro.nn.base_model import DGNNModel
+from repro.serving.deltas import GraphDelta, ServingEvent
+from repro.serving.metrics import ServingMetrics, ServingReport
+from repro.serving.scheduler import BatchResult, ServingConfig, ServingScheduler, build_serving_engine
+from repro.serving.store import DeltaReport
+from repro.utils.validation import check_positive
+
+#: offset separating one shard's batch ids from the next in merged output
+_BATCH_ID_STRIDE = 1_000_000
+#: per-replica breakdown keys that are ratios/horizons, not additive seconds
+_NON_ADDITIVE_BREAKDOWN = ("makespan", "gpu_utilization", "sm_utilization")
+
+
+class ShardedServingEngine:
+    """Fans request traffic across per-device serving replicas."""
+
+    def __init__(self, replicas: List[ServingScheduler]) -> None:
+        if not replicas:
+            raise ValueError("need at least one serving replica")
+        self.replicas = replicas
+        self._next_shard = 0
+        #: global request id -> (shard index, shard-local request id)
+        self._routes: List[Tuple[int, int]] = []
+        #: (shard index, shard-local request id) -> global request id
+        self._global_ids: Dict[Tuple[int, int], int] = {}
+        self._wall_start = time.perf_counter()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.replicas)
+
+    # ------------------------------------------------------------------ traffic
+    def ingest(self, delta: GraphDelta, *, at: Optional[float] = None) -> List[DeltaReport]:
+        """Broadcast a graph delta to every shard (all serve the same head)."""
+        return [replica.ingest(delta, at=at) for replica in self.replicas]
+
+    def submit(self, node_ids: Iterable[int], *, at: Optional[float] = None) -> int:
+        """Route one request to the next shard; returns a global request id."""
+        shard = self._next_shard
+        self._next_shard = (self._next_shard + 1) % self.num_shards
+        local_id = self.replicas[shard].submit(node_ids, at=at)
+        global_id = len(self._routes)
+        self._routes.append((shard, local_id))
+        self._global_ids[(shard, local_id)] = global_id
+        return global_id
+
+    def route_of(self, request_id: int) -> Tuple[int, int]:
+        """(shard index, shard-local id) a global request id resolved to."""
+        return self._routes[request_id]
+
+    def _to_global(self, shard: int, local_id: int) -> int:
+        """Global id of a shard-local request.
+
+        Strict by design: falling back to the local id would collide with
+        already-issued global ids and silently mis-attribute predictions, so
+        requests must enter through :meth:`submit`, never through a replica
+        directly.
+        """
+        try:
+            return self._global_ids[(shard, local_id)]
+        except KeyError:
+            raise KeyError(
+                f"request {local_id} on shard {shard} was not submitted through "
+                "ShardedServingEngine.submit(); submit requests via the engine "
+                "so they receive a collision-free global id"
+            ) from None
+
+    def pump(self, now: Optional[float] = None, *, force: bool = False) -> List[BatchResult]:
+        """Cut and execute due micro-batches on every shard.
+
+        The returned results are re-keyed from shard-local ids to engine-level
+        ones, so the sharded engine honours the same id contract as the
+        single-device scheduler: prediction dicts use the global request ids
+        :meth:`submit` handed out, and batch ids carry the same per-shard
+        offset the merged report uses (shard-local ids collide across shards
+        and must not leak out).
+        """
+        results: List[BatchResult] = []
+        for shard, replica in enumerate(self.replicas):
+            for result in replica.pump(now, force=force):
+                results.append(
+                    BatchResult(
+                        batch_id=result.batch_id + shard * _BATCH_ID_STRIDE,
+                        decision=result.decision,
+                        completion_time=result.completion_time,
+                        predictions={
+                            self._to_global(shard, local_id): rows
+                            for local_id, rows in result.predictions.items()
+                        },
+                    )
+                )
+        return results
+
+    def run_trace(self, events: Iterable[ServingEvent]) -> ServingReport:
+        """Replay a timestamped trace across the sharded engine."""
+        last_time = 0.0
+        for event in sorted(events, key=lambda e: e.time):
+            self.pump(event.time)
+            if event.kind == "delta":
+                assert event.delta is not None
+                self.ingest(event.delta, at=event.time)
+            else:
+                assert event.node_ids is not None
+                self.submit(event.node_ids, at=event.time)
+                self.pump(event.time)
+            last_time = event.time
+        final = max([last_time] + [r.device.elapsed_seconds() for r in self.replicas])
+        self.pump(final, force=True)
+        return self.report()
+
+    # ------------------------------------------------------------------ reporting
+    def report(self) -> ServingReport:
+        """One merged report over all shards.
+
+        Latency records concatenate across shards (request ids map back to
+        the global ids ``submit`` returned; batch ids are offset so they
+        stay unique); logical delta counts are per-engine quantities — a
+        broadcast delta is one update, not ``K`` — so they come from the
+        first replica rather than being summed.
+        """
+        reports = [replica.report() for replica in self.replicas]
+        merged = ServingMetrics()
+        for shard, replica in enumerate(self.replicas):
+            offset = shard * _BATCH_ID_STRIDE
+            for record in replica.metrics.requests:
+                merged.record_request(
+                    dataclasses.replace(
+                        record,
+                        request_id=self._to_global(shard, record.request_id),
+                        batch_id=record.batch_id + offset,
+                    )
+                )
+            for batch in replica.metrics.batches:
+                merged.record_batch(
+                    dataclasses.replace(batch, batch_id=batch.batch_id + offset)
+                )
+        merged.deltas_ingested = self.replicas[0].metrics.deltas_ingested
+        merged.rows_touched = self.replicas[0].metrics.rows_touched
+
+        breakdown: Dict[str, float] = {}
+        reuse_stats: Dict[str, float] = {}
+        extras: Dict[str, float] = {"num_shards": float(self.num_shards)}
+        for shard, report in enumerate(reports):
+            for key, value in report.breakdown.items():
+                # Kind-seconds add up across shards; horizons and utilization
+                # ratios do not (summing K makespans ~Kx-inflates the clock).
+                if key not in _NON_ADDITIVE_BREAKDOWN:
+                    breakdown[key] = breakdown.get(key, 0.0) + value
+            for key, value in report.reuse_stats.items():
+                reuse_stats[key] = reuse_stats.get(key, 0.0) + value
+            extras[f"shard{shard}_requests"] = float(report.metrics.num_requests)
+        breakdown["makespan"] = max(
+            report.breakdown.get("makespan", 0.0) for report in reports
+        )
+        # Ratio keys every single-replica breakdown carries: keep them present
+        # (mean across shards) so sharded reports stay drop-in compatible.
+        for key in ("gpu_utilization", "sm_utilization"):
+            values = [r.breakdown[key] for r in reports if key in r.breakdown]
+            if values:
+                breakdown[key] = float(np.mean(values))
+        return ServingReport(
+            engine=f"{reports[0].engine}-x{self.num_shards}",
+            model=reports[0].model,
+            dataset=reports[0].dataset,
+            simulated_seconds=max(r.simulated_seconds for r in reports),
+            wall_seconds=time.perf_counter() - self._wall_start,
+            metrics=merged,
+            breakdown=breakdown,
+            reuse_stats=reuse_stats,
+            gpu_utilization=float(np.mean([r.gpu_utilization for r in reports])),
+            peak_memory_bytes=max(r.peak_memory_bytes for r in reports),
+            extras=extras,
+        )
+
+
+def build_sharded_serving_engine(
+    graph: DynamicGraph,
+    model: DGNNModel,
+    num_shards: int,
+    config: Optional[ServingConfig] = None,
+    *,
+    gpu: Optional[GPUSpec] = None,
+    pcie: Optional[PCIeSpec] = None,
+    host: Optional[HostSpec] = None,
+    scale: float = 1.0,
+) -> ShardedServingEngine:
+    """Wire ``num_shards`` serving replicas behind one sharded entry point."""
+    check_positive("num_shards", num_shards)
+    replicas = [
+        build_serving_engine(
+            graph, model, config, gpu=gpu, pcie=pcie, host=host, scale=scale
+        )
+        for _ in range(num_shards)
+    ]
+    return ShardedServingEngine(replicas)

@@ -14,6 +14,7 @@ from repro.experiments import (
     fig11_parallel_gnn,
     fig12_sliced_csr,
     format_space,
+    scaling_multi_gpu,
     table1_datasets,
     table2_gpu_utilization,
 )
@@ -32,6 +33,7 @@ EXPERIMENTS: Dict[str, object] = {
     "fig12": fig12_sliced_csr,
     "space_overhead": format_space,
     "ablations": ablations,
+    "scaling": scaling_multi_gpu,
 }
 
 

@@ -1,0 +1,114 @@
+"""Multi-GPU scaling of distributed PiPAD training (repro extension).
+
+Not a paper artifact: the paper trains on one V100.  This experiment answers
+the question its production deployment would ask next — how does the
+pipelined training time scale when the node set is sharded across a device
+group?  For each device count it trains the same workload through
+:class:`~repro.core.distributed_trainer.DistributedTrainer` and reports the
+steady-state epoch time, the speedup and parallel efficiency over the
+single-device run, and the per-steady-epoch time spent in each collective
+(halo exchange, state all-gather, gradient all-reduce).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import DistributedConfig, DistributedTrainer, PiPADConfig
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    load_experiment_graph,
+    trainer_config,
+)
+
+#: device counts swept by default (1 is the reference run)
+DEFAULT_DEVICE_COUNTS = (1, 2, 4, 8)
+
+COLLECTIVE_KEYS = ("halo_exchange_seconds", "all_gather_seconds", "all_reduce_seconds")
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    device_counts: Sequence[int] = DEFAULT_DEVICE_COUNTS,
+    interconnect: str = "nvlink",
+    cost_scale: float = 5000.0,
+) -> List[Dict[str, float]]:
+    """Train the sweep's first dataset/model at each device count."""
+    if 1 not in device_counts:
+        raise ValueError(
+            "device_counts must include 1 — the single-device run is the "
+            f"speedup/efficiency reference, got {tuple(device_counts)}"
+        )
+    config = config or ExperimentConfig.quick()
+    dataset = config.datasets[0]
+    model = config.models[0]
+    graph = load_experiment_graph(dataset, config)
+    base = trainer_config(config, model)
+    base.cost_scale = cost_scale
+
+    steady_by_devices: Dict[int, float] = {}
+    results = {}
+    for devices in device_counts:
+        trainer = DistributedTrainer(
+            graph,
+            base,
+            PiPADConfig(preparing_epochs=config.preparing_epochs),
+            DistributedConfig(num_devices=devices, interconnect=interconnect),
+        )
+        result = trainer.train()
+        steady_by_devices[devices] = result.steady_epoch_seconds
+        results[devices] = result
+
+    rows: List[Dict[str, float]] = []
+    reference = steady_by_devices[1]
+    for devices in device_counts:
+        result = results[devices]
+        steady = steady_by_devices[devices]
+        speedup = reference / steady if steady > 0 else float("inf")
+        row: Dict[str, float] = {
+            "dataset": dataset,
+            "model": model,
+            "devices": float(devices),
+            "steady_epoch_seconds": steady,
+            "speedup": speedup,
+            "efficiency": speedup / devices,
+            "halo_feature_bytes": result.extras.get("halo_feature_bytes", 0.0),
+        }
+        # Collectives only run in the post-preparing epochs; normalize their
+        # totals to the same per-epoch basis as ``steady_epoch_seconds`` so
+        # the table's columns are directly comparable (and the collective
+        # share does not drift with the configured epoch count).
+        collective_epochs = max(1, result.epochs - config.preparing_epochs)
+        for key in COLLECTIVE_KEYS:
+            row[key] = result.extras.get(key, 0.0) / collective_epochs
+        rows.append(row)
+    return rows
+
+
+def format_result(rows: List[Dict[str, float]]) -> str:
+    """Render the scaling table (one row per device count)."""
+    header: Tuple[str, ...] = (
+        "devices",
+        "steady s/epoch",
+        "speedup",
+        "efficiency",
+        "halo s/ep",
+        "all_gather s/ep",
+        "all_reduce s/ep",
+    )
+    table = [
+        (
+            f"{row['devices']:.0f}",
+            f"{row['steady_epoch_seconds']:.4f}",
+            f"{row['speedup']:.2f}x",
+            f"{row['efficiency']:.1%}",
+            f"{row['halo_exchange_seconds']:.4f}",
+            f"{row['all_gather_seconds']:.4f}",
+            f"{row['all_reduce_seconds']:.4f}",
+        )
+        for row in rows
+    ]
+    title = f"Multi-GPU scaling — {rows[0]['dataset']} / {rows[0]['model']}"
+    return title + "\n" + format_table(header, table)

@@ -41,6 +41,8 @@ from repro.gpu.timeline import (
     TimelineOp,
 )
 from repro.gpu.device import KernelStats, OutOfMemoryError, SimulatedGPU
+from repro.gpu.interconnect import NVLINK, PCIE_PEER, Interconnect, LinkSpec
+from repro.gpu.device_group import COMM_STREAM, RESOURCE_PEER_LINK, DeviceGroup
 from repro.gpu.profiler import KernelCostCollector, estimate_event_cost
 
 __all__ = [
@@ -79,6 +81,13 @@ __all__ = [
     "KernelStats",
     "OutOfMemoryError",
     "SimulatedGPU",
+    "COMM_STREAM",
+    "RESOURCE_PEER_LINK",
+    "DeviceGroup",
+    "Interconnect",
+    "LinkSpec",
+    "NVLINK",
+    "PCIE_PEER",
     "KernelCostCollector",
     "estimate_event_cost",
 ]

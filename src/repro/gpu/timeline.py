@@ -99,6 +99,14 @@ class Timeline:
     def ops(self) -> List[TimelineOp]:
         return list(self._ops)
 
+    def resource_free_at(self, resource: str) -> float:
+        """Earliest time a new op could start on ``resource``."""
+        return self._resource_free.get(resource, 0.0)
+
+    def stream_free_at(self, stream: str) -> float:
+        """Earliest time a new op could start on ``stream`` (FIFO ordering)."""
+        return self._stream_free.get(stream, 0.0)
+
     def makespan(self) -> float:
         """End time of the last scheduled operation."""
         return max((op.end for op in self._ops), default=0.0)

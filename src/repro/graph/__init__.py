@@ -23,6 +23,12 @@ from repro.graph.overlap import (
     pairwise_overlap_rate,
     refine_overlap,
 )
+from repro.graph.partition import (
+    PARTITION_MODES,
+    GraphPartitioner,
+    ShardGroup,
+    SnapshotShard,
+)
 from repro.graph.smoothing import apply_edge_life, smoothened_edge_total
 from repro.graph.generators import GeneratorConfig, generate_dynamic_graph, TOPOLOGIES
 from repro.graph.datasets import (
@@ -59,6 +65,10 @@ __all__ = [
     "group_overlap_rate",
     "pairwise_overlap_rate",
     "refine_overlap",
+    "PARTITION_MODES",
+    "GraphPartitioner",
+    "ShardGroup",
+    "SnapshotShard",
     "apply_edge_life",
     "smoothened_edge_total",
     "GeneratorConfig",

@@ -10,6 +10,7 @@ the benchmark harness.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -78,8 +79,15 @@ class ServingMetrics:
         return np.array([r.latency for r in self.requests], dtype=np.float64)
 
     def latency_percentile(self, q: float) -> float:
+        """Latency percentile in seconds; NaN when no request has completed.
+
+        Returning 0.0 for an empty window would silently read as "perfect
+        latency" in benchmark comparisons; NaN makes a windowless aggregate
+        impossible to mistake for a measurement (any comparison with it is
+        False and it survives into formatted output as ``nan``).
+        """
         lat = self.latencies()
-        return float(np.percentile(lat, q)) if len(lat) else 0.0
+        return float(np.percentile(lat, q)) if len(lat) else float("nan")
 
     @property
     def p50_latency(self) -> float:
@@ -91,8 +99,10 @@ class ServingMetrics:
 
     @property
     def mean_latency(self) -> float:
+        """Mean latency in seconds; NaN when no request has completed (see
+        :meth:`latency_percentile`)."""
         lat = self.latencies()
-        return float(lat.mean()) if len(lat) else 0.0
+        return float(lat.mean()) if len(lat) else float("nan")
 
     @property
     def cache_hit_rate(self) -> float:
@@ -160,9 +170,16 @@ class ServingReport:
         return self.metrics.cache_hit_rate
 
     def speedup_over(self, other: "ServingReport") -> float:
-        """Mean-latency advantage over another run of the same trace."""
+        """Mean-latency advantage over another run of the same trace.
+
+        NaN when either run completed zero requests — an empty window must
+        not read as infinitely fast (see :meth:`ServingMetrics.
+        latency_percentile`).
+        """
         mine = self.metrics.mean_latency
         theirs = other.metrics.mean_latency
+        if math.isnan(mine) or math.isnan(theirs):
+            return float("nan")
         return theirs / mine if mine > 0 else float("inf")
 
     def to_training_result(self, *, epochs: int = 1) -> TrainingResult:

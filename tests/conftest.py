@@ -7,7 +7,9 @@ import pytest
 
 from repro.baselines import TrainerConfig
 from repro.graph import CSRMatrix, GeneratorConfig, generate_dynamic_graph
-from repro.gpu import GPUSpec, SimulatedGPU
+from repro.gpu import DeviceGroup, GPUSpec, SimulatedGPU
+from repro.nn import build_model
+from repro.serving import IncrementalSnapshotStore, ServingConfig, build_serving_engine
 
 
 @pytest.fixture(scope="session")
@@ -63,3 +65,51 @@ def device():
 @pytest.fixture()
 def trainer_config():
     return TrainerConfig(model="tgcn", frame_size=4, epochs=2, lr=1e-3, seed=0)
+
+
+@pytest.fixture()
+def device_group():
+    """A four-device simulated group over the default NVLink interconnect."""
+    return DeviceGroup(4)
+
+
+@pytest.fixture()
+def make_serving_engine(small_graph):
+    """Factory for serving engines over ``small_graph`` (shared serving fixture).
+
+    Keyword overrides go to :class:`ServingConfig`; ``model_name`` picks the
+    DGNN model.  Consolidated here because the serving and distributed test
+    modules all need the same graph + model + engine wiring.
+    """
+
+    def factory(*, model_name: str = "tgcn", **config_kwargs):
+        defaults = dict(window=4, max_batch_requests=4, max_delay_ms=0.5)
+        defaults.update(config_kwargs)
+        model = build_model(model_name, small_graph.feature_dim, 8, seed=0)
+        return build_serving_engine(small_graph, model, ServingConfig(**defaults))
+
+    return factory
+
+
+@pytest.fixture()
+def make_snapshot_store(small_graph):
+    """Factory for incremental snapshot stores seeded from ``small_graph``."""
+
+    def factory(window: int = 4):
+        return IncrementalSnapshotStore(small_graph, window=window)
+
+    return factory
+
+
+@pytest.fixture()
+def reference_aggregation():
+    """(X + A·X) / (deg + 1) — the first-layer mean aggregation, from scratch."""
+
+    def compute(snapshot):
+        adjacency = snapshot.adjacency
+        degree = adjacency.row_nnz().astype(np.float32)
+        return (snapshot.features + adjacency.matmul_dense(snapshot.features)) / (
+            degree + 1.0
+        )[:, None]
+
+    return compute

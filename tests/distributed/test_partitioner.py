@@ -1,0 +1,108 @@
+"""Tests for node-wise graph sharding with halo bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphPartitioner, extract_overlap
+
+
+class TestPlan:
+    def test_boundaries_cover_node_set(self, small_graph):
+        for devices in (1, 2, 3, 4):
+            plan = GraphPartitioner(devices).plan(small_graph.snapshots)
+            assert plan[0] == 0 and plan[-1] == small_graph.num_nodes
+            assert np.all(np.diff(plan) >= 1)
+            assert len(plan) == devices + 1
+
+    def test_node_mode_gives_uniform_ranges(self, small_graph):
+        plan = GraphPartitioner(4, mode="nodes").plan(small_graph.snapshots)
+        sizes = np.diff(plan)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_edge_mode_balances_edge_mass(self, small_graph):
+        partitioner = GraphPartitioner(3, mode="edges")
+        plan = partitioner.plan(small_graph.snapshots, node_weight=0.0)
+        fractions = partitioner.edge_fractions(small_graph.snapshots, plan)
+        # Contiguous ranges cannot be perfect, but no shard should be wild.
+        assert fractions.max() < 0.6
+
+    def test_rejects_more_devices_than_nodes(self, small_graph):
+        with pytest.raises(ValueError):
+            GraphPartitioner(small_graph.num_nodes + 1).plan(small_graph.snapshots)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            GraphPartitioner(2, mode="hash")
+
+
+class TestShards:
+    def test_shard_union_reconstructs_snapshot(self, small_graph):
+        """Acceptance invariant: shards ∪ halos == full graph."""
+        partitioner = GraphPartitioner(4)
+        snapshot = small_graph[0]
+        shards = partitioner.shard_snapshot(snapshot)
+        union = np.sort(np.concatenate([s.adjacency.edge_keys() for s in shards]))
+        assert np.array_equal(union, snapshot.adjacency.edge_keys())
+
+    def test_shards_are_disjoint(self, small_graph):
+        shards = GraphPartitioner(3).shard_snapshot(small_graph[0])
+        for a in range(len(shards)):
+            for b in range(a + 1, len(shards)):
+                inter = np.intersect1d(
+                    shards[a].adjacency.edge_keys(), shards[b].adjacency.edge_keys()
+                )
+                assert len(inter) == 0
+
+    def test_halo_nodes_are_exactly_remote_columns(self, small_graph):
+        snapshot = small_graph[0]
+        for shard in GraphPartitioner(4).shard_snapshot(snapshot):
+            local = np.arange(shard.node_start, shard.node_stop)
+            cols = np.unique(shard.adjacency.indices)
+            expected = np.setdiff1d(cols, local)
+            assert np.array_equal(shard.halo_nodes, expected)
+            # Owned columns are never halo.
+            assert not np.intersect1d(shard.halo_nodes, local).size
+
+    def test_halo_feature_bytes(self, small_graph):
+        shard = GraphPartitioner(2).shard_snapshot(small_graph[0])[0]
+        dim = small_graph.feature_dim
+        assert shard.halo_feature_bytes(dim) == shard.num_halo_nodes * dim * 4
+
+    def test_shard_group_overlap_reconstructs_members(self, small_graph):
+        """Per-shard overlap decomposition stays exact under sharding."""
+        partitioner = GraphPartitioner(3)
+        snapshots = small_graph.snapshots[:4]
+        for group in partitioner.shard_group(snapshots):
+            for shard, exclusive in zip(group.shards, group.overlap.exclusives):
+                rebuilt = np.union1d(
+                    group.overlap.overlap.edge_keys(), exclusive.edge_keys()
+                )
+                assert np.array_equal(rebuilt, shard.adjacency.edge_keys())
+
+    def test_shard_group_matches_direct_extraction(self, small_graph):
+        partitioner = GraphPartitioner(2)
+        snapshots = small_graph.snapshots[:3]
+        boundaries = partitioner.plan(snapshots)
+        groups = partitioner.shard_group(snapshots, boundaries)
+        for device, group in enumerate(groups):
+            shards = [
+                partitioner.shard_snapshot(s, boundaries)[device] for s in snapshots
+            ]
+            direct = extract_overlap([s.adjacency for s in shards])
+            assert np.array_equal(
+                group.overlap.overlap.edge_keys(), direct.overlap.edge_keys()
+            )
+
+    def test_fractions_sum_to_one(self, small_graph):
+        partitioner = GraphPartitioner(4)
+        boundaries = partitioner.plan(small_graph.snapshots)
+        assert partitioner.node_fractions(boundaries).sum() == pytest.approx(1.0)
+        assert partitioner.edge_fractions(
+            small_graph.snapshots, boundaries
+        ).sum() == pytest.approx(1.0)
+
+    def test_empty_group_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            GraphPartitioner(2).shard_group([])

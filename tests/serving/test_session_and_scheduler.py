@@ -1,4 +1,8 @@
-"""Tests for the inference session, serving policy and scheduler."""
+"""Tests for the inference session, serving policy and scheduler.
+
+Engine/model/store wiring comes from the shared fixtures in
+``tests/conftest.py`` (``make_serving_engine``, ``reference_aggregation``).
+"""
 
 from __future__ import annotations
 
@@ -7,35 +11,14 @@ import pytest
 
 from repro.gpu import SimulatedGPU
 from repro.core import ReuseManager
-from repro.nn import build_model
-from repro.serving import (
-    GraphDelta,
-    ServingConfig,
-    build_serving_engine,
-    random_delta,
-    synthesize_serving_trace,
-)
-
-
-def make_engine(graph, *, model_name="tgcn", **config_kwargs):
-    defaults = dict(window=4, max_batch_requests=4, max_delay_ms=0.5)
-    defaults.update(config_kwargs)
-    model = build_model(model_name, graph.feature_dim, 8, seed=0)
-    return build_serving_engine(graph, model, ServingConfig(**defaults))
-
-
-def reference_aggregation(snapshot):
-    """(X + A·X) / (deg + 1) — the first-layer mean aggregation."""
-    adjacency = snapshot.adjacency
-    degree = adjacency.row_nnz().astype(np.float32)
-    return (snapshot.features + adjacency.matmul_dense(snapshot.features)) / (
-        degree + 1.0
-    )[:, None]
+from repro.serving import GraphDelta, random_delta, synthesize_serving_trace
 
 
 class TestInferenceSession:
-    def test_incremental_patch_matches_full_recompute(self, small_graph):
-        engine = make_engine(small_graph)
+    def test_incremental_patch_matches_full_recompute(
+        self, make_serving_engine, reference_aggregation
+    ):
+        engine = make_serving_engine()
         session, store = engine.session, engine.store
         # Populate the cache for the current head via one forward pass.
         session.predict(np.arange(4), s_per=2)
@@ -55,8 +38,8 @@ class TestInferenceSession:
             patched, reference_aggregation(store.head), rtol=1e-5, atol=1e-6
         )
 
-    def test_refresh_invalidates_evicted_version(self, small_graph):
-        engine = make_engine(small_graph)
+    def test_refresh_invalidates_evicted_version(self, make_serving_engine):
+        engine = make_serving_engine()
         session, store = engine.session, engine.store
         session.predict(np.arange(2), s_per=4)
         evict_candidate = store.window_versions()[0]
@@ -66,9 +49,9 @@ class TestInferenceSession:
         assert report.evicted_version == evict_candidate
         assert not session.reuse.has_cached(evict_candidate)
 
-    def test_predictions_identical_with_and_without_reuse(self, small_graph):
-        reuse_engine = make_engine(small_graph, enable_reuse=True)
-        naive_engine = make_engine(small_graph, enable_reuse=False)
+    def test_predictions_identical_with_and_without_reuse(self, make_serving_engine):
+        reuse_engine = make_serving_engine(enable_reuse=True)
+        naive_engine = make_serving_engine(enable_reuse=False)
         nodes = np.arange(6)
         # Warm the reuse cache, then predict again (cache-served path).
         reuse_engine.session.predict(nodes, s_per=2)
@@ -76,17 +59,19 @@ class TestInferenceSession:
         cold, _ = naive_engine.session.predict(nodes, s_per=2)
         np.testing.assert_allclose(warm, cold, rtol=1e-5, atol=1e-6)
 
-    def test_predictions_invariant_to_s_per(self, small_graph):
-        engine = make_engine(small_graph, enable_reuse=False)
+    def test_predictions_invariant_to_s_per(self, make_serving_engine):
+        engine = make_serving_engine(enable_reuse=False)
         nodes = np.arange(5)
         one, _ = engine.session.predict(nodes, s_per=1)
         four, _ = engine.session.predict(nodes, s_per=4)
         np.testing.assert_allclose(one, four, rtol=1e-5, atol=1e-6)
 
-    def test_stale_cache_would_differ_hence_invalidation_matters(self, small_graph):
+    def test_stale_cache_would_differ_hence_invalidation_matters(
+        self, make_serving_engine
+    ):
         """A topology delta changes the aggregation, so serving stale cache
         rows would be wrong — this pins down why refresh() must patch."""
-        engine = make_engine(small_graph)
+        engine = make_serving_engine()
         store = engine.store
         engine.session.predict(np.arange(2), s_per=4)
         stale = np.array(engine.session.reuse.peek(store.version), copy=True)
@@ -102,8 +87,8 @@ class TestInferenceSession:
 
 
 class TestServingScheduler:
-    def test_run_trace_end_to_end(self, small_graph):
-        engine = make_engine(small_graph)
+    def test_run_trace_end_to_end(self, make_serving_engine):
+        engine = make_serving_engine()
         trace = synthesize_serving_trace(engine.store.head, 60, seed=4)
         report = engine.run_trace(trace)
         num_requests = sum(1 for e in trace if e.kind == "request")
@@ -114,8 +99,8 @@ class TestServingScheduler:
         assert report.p99_latency >= report.p50_latency > 0
         assert report.throughput_rps > 0
 
-    def test_latency_includes_arrival_wait(self, small_graph):
-        engine = make_engine(small_graph, max_delay_ms=0.0)
+    def test_latency_includes_arrival_wait(self, make_serving_engine):
+        engine = make_serving_engine(max_delay_ms=0.0)
         rid = engine.submit([0, 1], at=5.0)
         (result,) = engine.pump(5.0, force=True)
         record = engine.metrics.requests[0]
@@ -123,8 +108,8 @@ class TestServingScheduler:
         assert record.completion_time >= 5.0  # not_before honoured
         assert record.latency > 0
 
-    def test_batch_predictions_routed_per_request(self, small_graph):
-        engine = make_engine(small_graph, max_batch_requests=2, max_delay_ms=1000.0)
+    def test_batch_predictions_routed_per_request(self, make_serving_engine):
+        engine = make_serving_engine(max_batch_requests=2, max_delay_ms=1000.0)
         a = engine.submit([0, 1], at=0.0)
         b = engine.submit([1, 2], at=0.0)
         (result,) = engine.pump(0.0)
@@ -135,23 +120,23 @@ class TestServingScheduler:
             result.predictions[a][1], result.predictions[b][0]
         )
 
-    def test_tuner_policy_picks_candidate(self, small_graph):
-        engine = make_engine(small_graph)
+    def test_tuner_policy_picks_candidate(self, make_serving_engine):
+        engine = make_serving_engine()
         engine.submit([0], at=0.0)
         engine.pump(0.0, force=True)
         (decision,) = engine.policy.decisions
         assert decision.s_per in engine.policy.tuner.candidates
         assert "forward-only" in decision.reason
 
-    def test_fixed_s_per_bypasses_tuner(self, small_graph):
-        engine = make_engine(small_graph, fixed_s_per=2)
+    def test_fixed_s_per_bypasses_tuner(self, make_serving_engine):
+        engine = make_serving_engine(fixed_s_per=2)
         engine.submit([0], at=0.0)
         engine.pump(0.0, force=True)
         assert engine.policy.decisions[0].s_per == 2
         assert engine.policy.decisions[0].reason == "fixed by configuration"
 
-    def test_report_converts_to_training_result(self, small_graph):
-        engine = make_engine(small_graph)
+    def test_report_converts_to_training_result(self, make_serving_engine):
+        engine = make_serving_engine()
         trace = synthesize_serving_trace(engine.store.head, 30, seed=6)
         report = engine.run_trace(trace)
         result = report.to_training_result()
@@ -159,18 +144,18 @@ class TestServingScheduler:
         assert result.extras["cache_hit_rate"] == report.cache_hit_rate
         assert result.simulated_seconds == report.simulated_seconds
 
-    def test_incremental_beats_naive_on_same_trace(self, small_graph):
+    def test_incremental_beats_naive_on_same_trace(self, small_graph, make_serving_engine):
         trace = synthesize_serving_trace(small_graph[-1], 80, seed=11)
-        fast = make_engine(small_graph).run_trace(trace)
-        slow = make_engine(
-            small_graph, enable_reuse=False, fixed_s_per=1, enable_pipeline=False
+        fast = make_serving_engine().run_trace(trace)
+        slow = make_serving_engine(
+            enable_reuse=False, fixed_s_per=1, enable_pipeline=False
         ).run_trace(trace)
         assert fast.metrics.mean_latency < slow.metrics.mean_latency
         assert fast.cache_hit_rate > 0 and slow.cache_hit_rate == 0
 
-    def test_models_all_serve(self, small_graph):
+    def test_models_all_serve(self, make_serving_engine):
         for name in ("tgcn", "evolvegcn", "mpnn_lstm"):
-            engine = make_engine(small_graph, model_name=name)
+            engine = make_serving_engine(model_name=name)
             engine.submit([0, 1], at=0.0)
             results = engine.pump(0.0, force=True)
             assert results and np.isfinite(

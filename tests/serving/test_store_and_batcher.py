@@ -16,10 +16,6 @@ from repro.serving import (
 )
 
 
-def make_store(small_graph, window=4):
-    return IncrementalSnapshotStore(small_graph, window=window)
-
-
 class TestGraphDelta:
     def test_empty_delta(self):
         delta = GraphDelta.empty()
@@ -40,30 +36,30 @@ class TestGraphDelta:
 
 
 class TestIncrementalSnapshotStore:
-    def test_seeds_from_dynamic_graph_tail(self, small_graph):
-        store = make_store(small_graph, window=4)
+    def test_seeds_from_dynamic_graph_tail(self, small_graph, make_snapshot_store):
+        store = make_snapshot_store(window=4)
         assert store.window_size == 4
         assert store.version == small_graph[-1].timestep
         assert store.window_versions() == [s.timestep for s in small_graph.snapshots[-4:]]
 
-    def test_apply_advances_version_and_slides_window(self, small_graph):
-        store = make_store(small_graph, window=3)
+    def test_apply_advances_version_and_slides_window(self, make_snapshot_store):
+        store = make_snapshot_store(window=3)
         before = store.window_versions()
         report = store.apply(GraphDelta.empty())
         assert report.version == before[-1] + 1
         assert report.evicted_version == before[0]
         assert store.window_versions() == before[1:] + [report.version]
 
-    def test_empty_delta_touches_nothing_and_shares_adjacency(self, small_graph):
-        store = make_store(small_graph)
+    def test_empty_delta_touches_nothing_and_shares_adjacency(self, make_snapshot_store):
+        store = make_snapshot_store()
         head_before = store.head
         report = store.apply(GraphDelta.empty())
         assert report.num_touched == 0
         # No topology change: the new version shares the adjacency object.
         assert store.head.adjacency is head_before.adjacency
 
-    def test_edge_delta_touches_source_rows(self, small_graph):
-        store = make_store(small_graph)
+    def test_edge_delta_touches_source_rows(self, make_snapshot_store):
+        store = make_snapshot_store()
         n = store.num_nodes
         keys = store.head.adjacency.edge_keys()
         victim = int(keys[0])
@@ -73,8 +69,8 @@ class TestIncrementalSnapshotStore:
         assert victim // n in report.touched_rows.tolist()
         assert victim not in store.head.adjacency.edge_keys().tolist()
 
-    def test_feature_delta_touches_in_neighbors(self, small_graph):
-        store = make_store(small_graph)
+    def test_feature_delta_touches_in_neighbors(self, make_snapshot_store):
+        store = make_snapshot_store()
         n = store.num_nodes
         keys = store.head.adjacency.edge_keys()
         target = int(keys[0] % n)  # a node that has at least one in-neighbor
@@ -86,8 +82,8 @@ class TestIncrementalSnapshotStore:
         assert in_neighbors <= touched
         assert np.allclose(store.head.features[target], 0.0)
 
-    def test_decomposition_matches_from_scratch_after_deltas(self, small_graph):
-        store = make_store(small_graph, window=4)
+    def test_decomposition_matches_from_scratch_after_deltas(self, make_snapshot_store):
+        store = make_snapshot_store(window=4)
         rng = np.random.default_rng(1)
         for _ in range(6):
             delta, _ = random_delta(
@@ -102,8 +98,8 @@ class TestIncrementalSnapshotStore:
             assert np.array_equal(a.edge_keys(), b.edge_keys())
         assert incremental.overlap_rate == pytest.approx(scratch.overlap_rate)
 
-    def test_partition_decomposition_reconstructs_members(self, small_graph):
-        store = make_store(small_graph, window=4)
+    def test_partition_decomposition_reconstructs_members(self, make_snapshot_store):
+        store = make_snapshot_store(window=4)
         sub = store.partition_decomposition([1, 2])
         snapshots = store.window_snapshots()
         for position, exclusive in zip([1, 2], sub.exclusives):
