@@ -1,10 +1,12 @@
 """Benchmark: multi-GPU scaling of distributed PiPAD training.
 
-Trains one workload through :class:`~repro.core.distributed_trainer.
-DistributedTrainer` at 1/2/4/8 devices and prints the scaling table with the
-collective times itemized.  The assertion mirrors the distributed acceptance
-criterion: >1.5x simulated-time speedup at 4 devices over the single-device
-run, with the gradient all-reduce time reported in the breakdown.
+Trains one workload at 1/2/4/8 devices — each device count expressed as a
+``RunSpec`` with a ``device: {kind: "group"}`` topology and resolved through
+:class:`repro.api.Engine` by the scaling experiment — and prints the scaling
+table with the collective times itemized.  The assertion mirrors the
+distributed acceptance criterion: >1.5x simulated-time speedup at 4 devices
+over the single-device run, with the gradient all-reduce time reported in
+the breakdown.
 """
 
 from __future__ import annotations

@@ -1,7 +1,9 @@
 """Benchmark: streaming serving latency — incremental reuse vs full recompute.
 
-Replays one synthesized delta/request trace through two serving engines that
-share the same trained model and initial graph state:
+Replays one synthesized delta/request trace through two serving specs that
+share the exact same trained model (trained once, injected into the second
+engine) and initial graph state, both through the unified
+:class:`repro.api.Engine`:
 
 - **PiPAD-Serve** — incremental snapshot store, reuse-cache sourcing with
   delta-row patching, pipelined streams and tuner-chosen partitioning;
@@ -17,46 +19,47 @@ from __future__ import annotations
 
 from conftest import run_once
 
-from repro.baselines import TrainerConfig
-from repro.core import PiPADConfig, PiPADTrainer
-from repro.graph import load_dataset
-from repro.serving import ServingConfig, build_serving_engine, synthesize_serving_trace
+from repro.api import Engine, RunSpec, ServingSpec, TraceSpec
 
 
 def _run_serving_comparison(dataset: str, num_events: int):
-    graph = load_dataset(dataset, seed=3, num_snapshots=16)
-    trainer = PiPADTrainer(
-        graph,
-        TrainerConfig(model="tgcn", frame_size=8, epochs=2, lr=5e-3, seed=3),
-        PiPADConfig(preparing_epochs=1),
-    )
-    trainer.train()
-
-    trace = synthesize_serving_trace(
-        graph.snapshots[-1],
-        num_events=num_events,
-        request_fraction=0.7,
-        nodes_per_request=8,
-        mean_interarrival_ms=0.5,
-        seed=13,
-    )
-    incremental = build_serving_engine(
-        graph,
-        trainer.model,
-        ServingConfig(window=8, max_batch_requests=8, max_delay_ms=1.0),
-    ).run_trace(trace)
-    naive = build_serving_engine(
-        graph,
-        trainer.model,
-        ServingConfig(
+    spec = RunSpec(
+        dataset=dataset,
+        model="tgcn",
+        method="pipad",
+        num_snapshots=16,
+        frame_size=8,
+        epochs=2,
+        lr=5e-3,
+        seed=3,
+        pipad={"preparing_epochs": 1},
+        serving=ServingSpec(
             window=8,
             max_batch_requests=8,
             max_delay_ms=1.0,
-            enable_reuse=False,
-            fixed_s_per=1,
-            enable_pipeline=False,
+            trace=TraceSpec(
+                num_events=num_events,
+                request_fraction=0.7,
+                nodes_per_request=8,
+                mean_interarrival_ms=0.5,
+                seed=13,
+            ),
         ),
-    ).run_trace(trace)
+    )
+    engine = Engine.from_spec(spec)
+    trace = engine.default_trace()
+    incremental = engine.serve(trace)
+
+    naive_spec = spec.replace(
+        serving=spec.serving.replace(
+            enable_reuse=False, fixed_s_per=1, enable_pipeline=False
+        )
+    )
+    # Same trained weights on both engines: inject the first engine's model
+    # so the recompute baseline doesn't retrain (and cannot drift).
+    naive = Engine.from_spec(
+        naive_spec, graph=engine.graph, model=engine.model
+    ).serve(trace)
     return incremental, naive
 
 

@@ -3,29 +3,39 @@
 EvolveGCN evolves its GCN weights along the timeline with a GRU, so the
 cross-snapshot dependence sits in the *weights* rather than the hidden
 states; PiPAD's weight reuse is therefore disabled automatically while the
-parallel aggregation still applies (§4.2).  The example trains on a trust
-network whose edges churn over time, compares all five methods and prints
-the memory-access statistics of the run.
+parallel aggregation still applies (§4.2).  The example declares one base
+:class:`repro.api.RunSpec` on a trust network whose edges churn over time,
+sweeps all five methods by replacing the spec's ``method`` field, and prints
+the memory-access statistics of each run.
 """
 
 from __future__ import annotations
 
-from repro.baselines import METHOD_ORDER, TrainerConfig, make_trainer
-from repro.core import PiPADConfig
-from repro.graph import load_dataset
+from repro.api import Engine, RunSpec
+from repro.baselines import METHOD_ORDER
 
 
 def main() -> None:
-    graph = load_dataset("epinions", seed=3, num_snapshots=12)
-    config = TrainerConfig(model="evolvegcn", frame_size=8, epochs=3, lr=1e-3, seed=3)
-
+    base = RunSpec(
+        dataset="epinions",
+        model="evolvegcn",
+        method="pygt",
+        num_snapshots=12,
+        frame_size=8,
+        epochs=3,
+        lr=1e-3,
+        seed=3,
+    )
+    engine = Engine.from_spec(base)
+    graph = engine.graph
     print(f"dataset: {graph.name}  nodes={graph.num_nodes}  "
           f"avg change rate={graph.average_change_rate():.3f}\n")
 
     results = {}
     for method in METHOD_ORDER:
-        kwargs = {"pipad_config": PiPADConfig(preparing_epochs=1)} if method == "PiPAD" else {}
-        results[method] = make_trainer(method, graph, config, **kwargs).train()
+        pipad = {"preparing_epochs": 1} if method == "PiPAD" else {}
+        spec = base.replace(method=method, pipad=pipad)
+        results[method] = Engine.from_spec(spec, graph=graph).train()
 
     baseline = results["PyGT"]
     print(f"{'method':<8} {'epoch (ms)':>12} {'speedup':>9} {'mem transactions':>18} {'loss':>9}")

@@ -2,27 +2,35 @@
 
 This mirrors the application MPNN-LSTM was proposed for: a mobility/contact
 graph between regions whose node signals (case counts) evolve quickly.  The
-example demonstrates the full training loop, shows how the dynamic tuner
-picks the per-frame parallelism level, and prints the latency breakdown so
-the transfer/compute/CPU split of Fig. 3 can be inspected on a live run.
+example declares the PyGT baseline and the PiPAD run as
+:class:`repro.api.RunSpec` instances, executes both through
+:class:`repro.api.Engine`, shows how the dynamic tuner picks the per-frame
+parallelism level, and prints the latency breakdown so the transfer/compute/
+CPU split of Fig. 3 can be inspected on a live run.
 """
 
 from __future__ import annotations
 
-from repro.baselines import PyGTTrainer, TrainerConfig
-from repro.core import PiPADConfig, PiPADTrainer
-from repro.graph import load_dataset
+from repro.api import Engine, RunSpec
 from repro.profiling import compute_time_breakdown, latency_breakdown
 
 
 def main() -> None:
-    graph = load_dataset("covid19_england", seed=2, num_snapshots=16)
-    config = TrainerConfig(model="mpnn_lstm", frame_size=8, epochs=3, lr=1e-3, seed=2)
-
+    base = RunSpec(
+        dataset="covid19_england",
+        model="mpnn_lstm",
+        method="pygt",
+        num_snapshots=16,
+        frame_size=8,
+        epochs=3,
+        lr=1e-3,
+        seed=2,
+    )
+    baseline_engine = Engine.from_spec(base)
+    graph = baseline_engine.graph
     print(f"dataset: {graph.name}  regions={graph.num_nodes}  snapshots={graph.num_snapshots}\n")
 
-    baseline = PyGTTrainer(graph, config)
-    baseline_result = baseline.train()
+    baseline_result = baseline_engine.train()
     print("PyGT latency breakdown:", {
         k: f"{v:.1%}" for k, v in latency_breakdown(baseline_result).items()
     })
@@ -30,11 +38,13 @@ def main() -> None:
         k: f"{v:.1%}" for k, v in compute_time_breakdown(baseline_result).items()
     })
 
-    pipad = PiPADTrainer(graph, config, PiPADConfig(preparing_epochs=1))
-    pipad_result = pipad.train()
+    pipad_engine = Engine.from_spec(
+        base.replace(method="pipad", pipad={"preparing_epochs": 1}), graph=graph
+    )
+    pipad_result = pipad_engine.train()
 
     print("\ndynamic tuner decisions (first 5 frames):")
-    for decision in pipad.tuning_decisions[:5]:
+    for decision in pipad_engine.trainer.tuning_decisions[:5]:
         print(f"  frame {decision.frame_index}: S_per={decision.s_per} "
               f"(OR={decision.overlap_rate:.2f}, est. speedup {decision.estimated_speedup:.2f}) — "
               f"{decision.reason}")

@@ -1,32 +1,59 @@
-"""Quickstart: train one DGNN with PyGT and with PiPAD and compare them.
+"""Quickstart: declare two runs as specs, execute both through one Engine.
 
-Run with ``python examples/quickstart.py``.  The script loads the Covid-19
-England dataset analogue (a small contact graph), trains the T-GCN model with
-the canonical PyGT baseline and with PiPAD on the simulated V100, and prints
-the simulated end-to-end times, the speedup and the loss curves (which are
-identical up to float noise — PiPAD changes the execution schedule, not the
-math).
+Run with ``python examples/quickstart.py``.  Every scenario in this repo —
+single-GPU training with any method, multi-GPU training, streaming serving —
+is described by a declarative :class:`repro.api.RunSpec` and executed by
+:class:`repro.api.Engine`.  This script declares the canonical PyGT baseline
+and PiPAD on the Covid-19 England analogue, runs both through
+``Engine.from_spec(...)``, and compares the reports (the losses are identical
+up to float noise — PiPAD changes the execution schedule, not the math).
+
+Specs serialize to JSON (see the ``specs/`` directory for ready-made ones),
+so the same two runs work from the command line::
+
+    python -m repro run pygt-baseline
+    python -m repro run pipad-single
+
+Migrating from the old entry points:
+
+==============================================  =====================================
+old                                             new
+==============================================  =====================================
+``PyGTTrainer(graph, cfg).train()``             ``Engine.from_spec(RunSpec(method="pygt", ...)).train()``
+``make_trainer("pipad", graph, cfg, ...)``      ``Engine.from_spec(RunSpec(method="pipad", ...))``
+``PiPADTrainer(graph, cfg, pipad_cfg)``         ``RunSpec(method="pipad", pipad={...overrides...})``
+``DistributedTrainer(graph, cfg, pc, dc)``      ``RunSpec(device={"kind": "group", "num_devices": K})``
+``build_serving_engine(graph, model, sc)``      ``RunSpec(serving={...}) + engine.serve()``
+``build_sharded_serving_engine(...)``           ``RunSpec(serving={"kind": "sharded", "num_shards": K})``
+==============================================  =====================================
 """
 
 from __future__ import annotations
 
-from repro.baselines import PyGTTrainer, TrainerConfig
-from repro.core import PiPADConfig, PiPADTrainer
-from repro.graph import load_dataset
+from repro.api import Engine, RunSpec
 
 
 def main() -> None:
-    graph = load_dataset("covid19_england", seed=0, num_snapshots=14)
-    config = TrainerConfig(model="tgcn", frame_size=8, epochs=3, lr=1e-3, seed=0)
+    base = RunSpec(
+        dataset="covid19_england",
+        model="tgcn",
+        method="pygt",
+        num_snapshots=14,
+        frame_size=8,
+        epochs=3,
+        lr=1e-3,
+        seed=0,
+    )
+    pipad_spec = base.replace(method="pipad", pipad={"preparing_epochs": 1})
 
+    pygt_engine = Engine.from_spec(base)
+    graph = pygt_engine.graph
     print(f"dataset: {graph.name}  nodes={graph.num_nodes}  snapshots={graph.num_snapshots}")
     print(f"average topology change rate: {graph.average_change_rate():.3f}\n")
 
-    pygt = PyGTTrainer(graph, config)
-    pygt_result = pygt.train()
-
-    pipad = PiPADTrainer(graph, config, PiPADConfig(preparing_epochs=1))
-    pipad_result = pipad.train()
+    pygt_result = pygt_engine.train()
+    pipad_engine = Engine.from_spec(pipad_spec, graph=graph)
+    pipad_result = pipad_engine.train()
 
     print(f"{'method':<8} {'epoch time (sim)':>18} {'GPU util':>10} {'final loss':>12}")
     for result in (pygt_result, pipad_result):
@@ -36,8 +63,9 @@ def main() -> None:
         )
     speedup = pygt_result.steady_epoch_seconds / pipad_result.steady_epoch_seconds
     print(f"\nPiPAD speedup over PyGT: {speedup:.2f}x")
-    print(f"parallelism chosen per frame: {sorted(set(pipad.chosen_s_per().values()))}")
+    print(f"parallelism chosen per frame: {sorted(set(pipad_engine.trainer.chosen_s_per().values()))}")
     print(f"loss curves: PyGT={pygt_result.loss_curve()}  PiPAD={pipad_result.loss_curve()}")
+    print(f"\nthe PiPAD spec as JSON:\n{pipad_spec.to_json()}")
 
 
 if __name__ == "__main__":

@@ -3,6 +3,12 @@
 ``python examples/reproduce_paper.py``            — quick sweep (minutes)
 ``python examples/reproduce_paper.py --full``     — the paper's full grid
 ``python examples/reproduce_paper.py fig10 fig11``— selected artifacts only
+
+Single artifacts are also reachable from the unified CLI —
+``python -m repro experiment table1`` — and every sweep combination the
+harness trains now resolves through ``repro.api.Engine`` (see
+``repro.experiments.common.run_method``), so the numbers here and the
+spec-driven API share one construction path.
 """
 
 from __future__ import annotations

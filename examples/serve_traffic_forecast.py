@@ -1,38 +1,55 @@
 """Streaming traffic forecasting: train offline, then serve online deltas.
 
-The serving counterpart of ``traffic_forecast_tgcn.py``: a T-GCN model is
-first trained on the Covid-19 England contact-graph analogue with the PiPAD
-trainer, then handed to the streaming engine (:mod:`repro.serving`).  The
-engine ingests a mixed trace of graph deltas (edge churn + feature updates)
-and node-level prediction requests, coalesces concurrent requests into
-micro-batches, and pushes every batch through the simulated-GPU pipeline
-with tuner-chosen window partitioning.  The incremental reuse path — cached
-first-layer aggregations patched only on delta-touched rows — is what keeps
-the p50 latency low; the final lines compare against a full-recompute
-engine replaying the exact same trace.
+The serving counterpart of ``traffic_forecast_tgcn.py``, declared as a
+single :class:`repro.api.RunSpec` with a ``serving`` section: the engine
+first trains the T-GCN model with the PiPAD trainer (the offline phase),
+then replays a mixed trace of graph deltas (edge churn + feature updates)
+and node-level prediction requests through the streaming engine, coalescing
+concurrent requests into micro-batches and pushing every batch through the
+simulated-GPU pipeline with tuner-chosen window partitioning.  The
+incremental reuse path — cached first-layer aggregations patched only on
+delta-touched rows — is what keeps the p50 latency low; the final lines
+compare against a full-recompute spec replaying the exact same trace.
 
-Run with ``python examples/serve_traffic_forecast.py``.
+Run with ``python examples/serve_traffic_forecast.py``, or the equivalent
+spec from the command line: ``python -m repro serve sharded-serving``.
 """
 
 from __future__ import annotations
 
-from repro.baselines import TrainerConfig
-from repro.core import PiPADConfig, PiPADTrainer
-from repro.graph import load_dataset
-from repro.serving import ServingConfig, build_serving_engine, synthesize_serving_trace
+from repro.api import Engine, RunSpec, ServingSpec, TraceSpec
 
 
 def main() -> None:
-    graph = load_dataset("covid19_england", seed=2, num_snapshots=16)
+    spec = RunSpec(
+        dataset="covid19_england",
+        model="tgcn",
+        method="pipad",
+        num_snapshots=16,
+        frame_size=8,
+        epochs=3,
+        lr=5e-3,
+        seed=2,
+        pipad={"preparing_epochs": 1},
+        serving=ServingSpec(
+            window=8,
+            max_batch_requests=8,
+            max_delay_ms=1.0,
+            trace=TraceSpec(
+                num_events=160,  # ≥100 mixed delta-updates and requests
+                request_fraction=0.7,
+                nodes_per_request=8,
+                mean_interarrival_ms=0.5,
+                seed=7,
+            ),
+        ),
+    )
+    engine = Engine.from_spec(spec)
+    graph = engine.graph
     print(f"dataset: {graph.name}  nodes={graph.num_nodes}  snapshots={graph.num_snapshots}")
 
-    # -- offline phase: train the model with the PiPAD trainer ---------------
-    trainer = PiPADTrainer(
-        graph,
-        TrainerConfig(model="tgcn", frame_size=8, epochs=3, lr=5e-3, seed=2),
-        PiPADConfig(preparing_epochs=1),
-    )
-    training = trainer.train()
+    # -- offline phase: the engine trains the model the spec describes -------
+    training = engine.train()
     print(
         f"offline training: {training.epochs} epochs in "
         f"{training.simulated_seconds * 1e3:.2f} ms simulated, "
@@ -40,22 +57,13 @@ def main() -> None:
     )
 
     # -- online phase: stream deltas + requests through the serving engine ---
-    config = ServingConfig(window=8, max_batch_requests=8, max_delay_ms=1.0)
-    engine = build_serving_engine(graph, trainer.model, config)
-    trace = synthesize_serving_trace(
-        engine.store.head,
-        num_events=160,  # ≥100 mixed delta-updates and requests
-        request_fraction=0.7,
-        nodes_per_request=8,
-        mean_interarrival_ms=0.5,
-        seed=7,
-    )
+    trace = engine.default_trace()
     num_requests = sum(1 for e in trace if e.kind == "request")
     print(
         f"replaying trace: {len(trace)} events "
         f"({num_requests} requests, {len(trace) - num_requests} deltas)"
     )
-    report = engine.run_trace(trace)
+    report = engine.serve(trace)
     print(report.format())
     print(
         f"  window overlap rate={report.extras['window_overlap_rate']:.2f}  "
@@ -65,19 +73,14 @@ def main() -> None:
     )
 
     # -- same trace, no incremental reuse: the naive recompute baseline ------
-    naive = build_serving_engine(
-        graph,
-        trainer.model,
-        ServingConfig(
-            window=8,
-            max_batch_requests=8,
-            max_delay_ms=1.0,
-            enable_reuse=False,
-            fixed_s_per=1,
-            enable_pipeline=False,
-        ),
+    naive_spec = spec.replace(
+        serving=spec.serving.replace(
+            enable_reuse=False, fixed_s_per=1, enable_pipeline=False
+        )
     )
-    naive_report = naive.run_trace(trace)
+    naive_report = Engine.from_spec(
+        naive_spec, graph=graph, model=engine.model  # same trained weights
+    ).serve(trace)
     print("\n" + naive_report.format())
     print(
         f"\nincremental serving speedup over full recompute: "

@@ -4,27 +4,37 @@ The PEMS08 road-sensor network has a fixed topology — only the node signals
 evolve — which makes it the best case for inter-frame reuse: every frame's
 first-layer aggregation is identical, so after the first frame PiPAD serves
 all aggregations from its reuse buffers and ships almost no adjacency data.
-The script trains T-GCN, reports the reuse statistics and evaluates the
-forecast error on the last frame.
+The script declares the run as a :class:`repro.api.RunSpec`, executes it
+through :class:`repro.api.Engine`, reports the reuse statistics and evaluates
+the forecast error on the last frame, then reruns the same spec with the
+PyGT-R method for comparison.
 """
 
 from __future__ import annotations
 
-from repro.baselines import PyGTReuseTrainer, TrainerConfig
-from repro.core import PiPADConfig, PiPADTrainer
-from repro.graph import load_dataset
+from repro.api import Engine, RunSpec
 
 
 def main() -> None:
-    graph = load_dataset("pems08", seed=1, num_snapshots=16)
-    config = TrainerConfig(model="tgcn", frame_size=8, epochs=4, lr=5e-3, seed=1)
+    spec = RunSpec(
+        dataset="pems08",
+        model="tgcn",
+        method="pipad",
+        num_snapshots=16,
+        frame_size=8,
+        epochs=4,
+        lr=5e-3,
+        seed=1,
+        pipad={"preparing_epochs": 1},
+    )
+    engine = Engine.from_spec(spec)
+    graph = engine.graph
 
     print(f"dataset: {graph.name} — static road topology, {graph.num_nodes} sensors")
     print(f"topology change rate: {graph.average_change_rate():.3f} (0.0 = fully static)\n")
 
-    pipad = PiPADTrainer(graph, config, PiPADConfig(preparing_epochs=1))
-    result = pipad.train()
-    eval_mse = pipad.evaluate()
+    result = engine.train()
+    eval_mse = engine.trainer.evaluate()
 
     reuse = {k: v for k, v in result.extras.items() if "hit" in k or "miss" in k}
     print(f"simulated training time: {result.simulated_seconds * 1e3:.2f} ms "
@@ -34,7 +44,7 @@ def main() -> None:
     print(f"loss curve: {[round(l, 4) for l in result.loss_curve()]}")
     print(f"held-out forecast MSE (last frame): {eval_mse:.4f}")
 
-    baseline = PyGTReuseTrainer(graph, config).train()
+    baseline = Engine.from_spec(spec.replace(method="pygt-r", pipad={}), graph=graph).train()
     print(f"\nPyGT-R epoch time: {baseline.steady_epoch_seconds * 1e3:.2f} ms — "
           f"PiPAD speedup {baseline.steady_epoch_seconds / result.steady_epoch_seconds:.2f}x")
 

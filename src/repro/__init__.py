@@ -26,6 +26,8 @@ Sub-packages
   group with ring collectives, data-parallel trainer and sharded serving.
 - :mod:`repro.profiling` — breakdowns, utilization, load-balance analysis.
 - :mod:`repro.experiments` — one module per paper table/figure.
+- :mod:`repro.api` — the unified entry layer: declarative ``RunSpec``,
+  the ``Engine`` façade and the ``python -m repro`` CLI.
 
 Commonly used names (``load_dataset``, ``PiPADTrainer``, ``SimulatedGPU``,
 ...) are re-exported lazily at the top level.
@@ -40,6 +42,17 @@ from repro.version import __version__
 
 # name -> submodule providing it; resolved lazily on first attribute access
 _LAZY_EXPORTS = {
+    # unified entry layer (the preferred construction path)
+    "DeviceSpec": "repro.api",
+    "Engine": "repro.api",
+    "RunReport": "repro.api",
+    "RunSpec": "repro.api",
+    "ServingSpec": "repro.api",
+    "TraceSpec": "repro.api",
+    "DEVICE_REGISTRY": "repro.api",
+    "SERVING_REGISTRY": "repro.api",
+    "build_trainer": "repro.api",
+    "build_serving": "repro.api",
     # graph substrate
     "COOMatrix": "repro.graph",
     "CSRMatrix": "repro.graph",
@@ -63,6 +76,12 @@ _LAZY_EXPORTS = {
     "DeviceGroup": "repro.distributed",
     "GraphPartitioner": "repro.distributed",
     "Interconnect": "repro.distributed",
+    "LinkSpec": "repro.distributed",
+    "NVLINK": "repro.distributed",
+    "PCIE_PEER": "repro.distributed",
+    "PARTITION_MODES": "repro.distributed",
+    "ShardGroup": "repro.distributed",
+    "SnapshotShard": "repro.distributed",
     "ShardedServingEngine": "repro.distributed",
     "build_sharded_serving_engine": "repro.distributed",
     # baselines
@@ -70,21 +89,41 @@ _LAZY_EXPORTS = {
     "PyGTAsyncTrainer": "repro.baselines",
     "PyGTReuseTrainer": "repro.baselines",
     "PyGTGeSpMMTrainer": "repro.baselines",
+    "TrainerConfig": "repro.baselines",
+    "TrainingResult": "repro.baselines",
+    "EpochMetrics": "repro.baselines",
+    "METHOD_ORDER": "repro.baselines",
+    "list_methods": "repro.baselines",
     "make_trainer": "repro.baselines",
     # models
+    "MODEL_ORDER": "repro.nn",
+    "MODEL_REGISTRY": "repro.nn",
     "build_model": "repro.nn",
+    "list_models": "repro.nn",
     # serving
+    "BatchRecord": "repro.serving",
+    "BatchResult": "repro.serving",
+    "DeltaReport": "repro.serving",
     "GraphDelta": "repro.serving",
     "IncrementalSnapshotStore": "repro.serving",
+    "InferenceRequest": "repro.serving",
     "InferenceSession": "repro.serving",
+    "MicroBatch": "repro.serving",
     "MicroBatcher": "repro.serving",
+    "RequestRecord": "repro.serving",
     "ServingConfig": "repro.serving",
+    "ServingEvent": "repro.serving",
+    "ServingMetrics": "repro.serving",
+    "ServingPolicy": "repro.serving",
     "ServingReport": "repro.serving",
     "ServingScheduler": "repro.serving",
     "build_serving_engine": "repro.serving",
+    "random_delta": "repro.serving",
     "synthesize_serving_trace": "repro.serving",
     # experiments
+    "ExperimentConfig": "repro.experiments",
     "run_experiment": "repro.experiments",
+    "format_experiment": "repro.experiments",
     "list_experiments": "repro.experiments",
 }
 

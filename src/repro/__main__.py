@@ -1,0 +1,8 @@
+"""``python -m repro`` dispatches to the spec-driven CLI in :mod:`repro.api.cli`."""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

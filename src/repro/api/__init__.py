@@ -1,0 +1,59 @@
+"""Unified entry layer: declarative specs, one engine, one report.
+
+Instead of five hand-wired construction idioms (``make_trainer``,
+``PiPADTrainer(...)``, ``DistributedTrainer(...)``, ``build_serving_engine``,
+``build_sharded_serving_engine``), every scenario is described by a
+serializable :class:`RunSpec` and executed by one :class:`Engine`:
+
+>>> from repro.api import Engine, RunSpec
+>>> spec = RunSpec(dataset="covid19_england", model="tgcn", method="pipad")
+>>> report = Engine.from_spec(spec).run()
+>>> report.training.final_loss  # doctest: +SKIP
+
+Specs round-trip through dicts and JSON (``RunSpec.from_dict``, ``.to_json``,
+``.load``/``.save``), so runs are storable, diffable artifacts; the
+``python -m repro`` CLI executes them directly.  The registries in
+:mod:`repro.api.registries` make new device/serving topologies pluggable.
+"""
+
+from repro.api.engine import COLLECTIVE_KEYS, Engine, RunReport
+from repro.api.registries import (
+    DEVICE_REGISTRY,
+    SERVING_REGISTRY,
+    DeviceKind,
+    ServingKind,
+    build_serving,
+    build_trainer,
+    trainer_registry,
+)
+from repro.api.spec import (
+    DEVICE_KINDS,
+    INTERCONNECT_KINDS,
+    PIPAD_FIELDS,
+    SERVING_KINDS,
+    DeviceSpec,
+    RunSpec,
+    ServingSpec,
+    TraceSpec,
+)
+
+__all__ = [
+    "COLLECTIVE_KEYS",
+    "DEVICE_KINDS",
+    "DEVICE_REGISTRY",
+    "DeviceKind",
+    "DeviceSpec",
+    "Engine",
+    "INTERCONNECT_KINDS",
+    "PIPAD_FIELDS",
+    "RunReport",
+    "RunSpec",
+    "SERVING_KINDS",
+    "SERVING_REGISTRY",
+    "ServingKind",
+    "ServingSpec",
+    "TraceSpec",
+    "build_serving",
+    "build_trainer",
+    "trainer_registry",
+]

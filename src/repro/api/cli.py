@@ -1,0 +1,278 @@
+"""``python -m repro`` — the spec-driven command-line surface.
+
+Four subcommands cover the repo's scenarios, all driven by
+:class:`~repro.api.spec.RunSpec`:
+
+- ``python -m repro list`` — every registered dataset, model, method,
+  device/serving topology, experiment and built-in preset;
+- ``python -m repro run SPEC`` — execute a spec (JSON file path or preset
+  name) through :class:`~repro.api.engine.Engine`: training plus, when the
+  spec declares one, the serving phase;
+- ``python -m repro serve SPEC`` — the online phase only (trains the model
+  the spec describes, then replays the spec's serving trace);
+- ``python -m repro experiment NAME`` — regenerate a paper artifact through
+  the experiment harness.
+
+``--set key=value`` applies dotted overrides to a loaded spec
+(``--set epochs=5 --set device.num_devices=4``), so one JSON file serves a
+family of runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.engine import Engine
+from repro.api.registries import (
+    DEVICE_REGISTRY,
+    SERVING_REGISTRY,
+    trainer_registry,
+)
+from repro.api.spec import RunSpec
+
+#: built-in specs runnable by name (``python -m repro run quick``); the same
+#: four scenarios ship as JSON files under ``specs/`` at the repo root
+PRESETS: Dict[str, Dict[str, Any]] = {
+    "quick": {
+        "dataset": "covid19_england",
+        "model": "tgcn",
+        "method": "pipad",
+        "num_snapshots": 10,
+        "frame_size": 6,
+        "epochs": 2,
+    },
+    "pipad-single": {
+        "dataset": "covid19_england",
+        "model": "tgcn",
+        "method": "pipad",
+        "num_snapshots": 14,
+        "frame_size": 8,
+        "epochs": 3,
+    },
+    "pygt-baseline": {
+        "dataset": "covid19_england",
+        "model": "tgcn",
+        "method": "pygt",
+        "num_snapshots": 14,
+        "frame_size": 8,
+        "epochs": 3,
+    },
+    "distributed-4gpu": {
+        "dataset": "flickr",
+        "model": "tgcn",
+        "method": "pipad",
+        "num_snapshots": 12,
+        "frame_size": 8,
+        "epochs": 3,
+        "cost_scale": 5000.0,
+        "device": {"kind": "group", "num_devices": 4, "interconnect": "nvlink"},
+    },
+    "sharded-serving": {
+        "dataset": "covid19_england",
+        "model": "tgcn",
+        "method": "pipad",
+        "num_snapshots": 16,
+        "frame_size": 8,
+        "epochs": 2,
+        "lr": 5e-3,
+        "serving": {
+            "kind": "sharded",
+            "num_shards": 2,
+            "window": 8,
+            "max_batch_requests": 8,
+            "max_delay_ms": 1.0,
+            "trace": {"num_events": 120, "seed": 7},
+        },
+    },
+}
+
+
+def _parse_value(raw: str) -> Any:
+    """Interpret an override value: JSON when it parses, bare string otherwise."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _apply_overrides(data: Dict[str, Any], overrides: Sequence[str]) -> Dict[str, Any]:
+    """Apply ``--set a.b=value`` overrides to a spec dict."""
+    for item in overrides:
+        if "=" not in item:
+            raise ValueError(f"--set expects key=value, got {item!r}")
+        dotted, raw = item.split("=", 1)
+        keys = dotted.split(".")
+        node = data
+        for key in keys[:-1]:
+            child = node.get(key)
+            if child is None:
+                child = node[key] = {}
+            elif not isinstance(child, dict):
+                raise ValueError(f"--set {dotted}: {key!r} is not a nested section")
+            node = child
+        node[keys[-1]] = _parse_value(raw)
+    return data
+
+
+def load_spec(source: str, overrides: Sequence[str] = ()) -> RunSpec:
+    """Resolve a CLI spec argument: a JSON file path or a preset name."""
+    path = Path(source)
+    if path.exists():
+        data = json.loads(path.read_text())
+    elif source in PRESETS:
+        data = json.loads(json.dumps(PRESETS[source]))  # deep copy
+    else:
+        raise ValueError(
+            f"spec {source!r} is neither a readable JSON file nor a preset; "
+            f"presets: {', '.join(sorted(PRESETS))}"
+        )
+    if overrides:
+        data = _apply_overrides(data, overrides)
+    return RunSpec.from_dict(data)
+
+
+def _summary_json(summary: Dict[str, Any]) -> str:
+    """Strict-JSON dump: NaN/inf (e.g. empty-window latencies) become null."""
+    cleaned = {
+        key: None if isinstance(value, float) and not math.isfinite(value) else value
+        for key, value in summary.items()
+    }
+    return json.dumps(cleaned, indent=2, allow_nan=False)
+
+
+# ------------------------------------------------------------------ subcommands
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import list_experiments
+    from repro.graph.datasets import DATASET_ORDER
+    from repro.nn import MODEL_ORDER
+
+    catalogue = {
+        "datasets": list(DATASET_ORDER),
+        "models": list(MODEL_ORDER),
+        "methods": sorted(trainer_registry()),
+        "device_kinds": {k: v.description for k, v in DEVICE_REGISTRY.items()},
+        "serving_kinds": {k: v.description for k, v in SERVING_REGISTRY.items()},
+        "experiments": list_experiments(),
+        "presets": sorted(PRESETS),
+    }
+    if args.json:
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    for section, entries in catalogue.items():
+        print(f"{section}:")
+        if isinstance(entries, dict):
+            for name, description in entries.items():
+                print(f"  {name:<10} {description}")
+        else:
+            print("  " + ", ".join(entries))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec, args.set or ())
+    engine = Engine.from_spec(spec)
+    report = engine.run()
+    if args.json:
+        print(_summary_json(report.summary()))
+    else:
+        print(report.format())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec, args.set or ())
+    if spec.serving is None:
+        raise ValueError(
+            f"spec {args.spec!r} has no serving section; add one or use "
+            "'python -m repro run' for training-only specs"
+        )
+    engine = Engine.from_spec(spec)
+    engine.serve()
+    report = engine.report()
+    if args.json:
+        print(_summary_json(report.summary()))
+    else:
+        print(report.format())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ExperimentConfig,
+        format_experiment,
+        list_experiments,
+        run_experiment,
+    )
+
+    if args.name not in list_experiments():
+        raise ValueError(
+            f"unknown experiment {args.name!r}; available: {list_experiments()}"
+        )
+    if args.full:
+        config = ExperimentConfig.full()
+    elif args.quick:
+        config = ExperimentConfig.quick()
+    else:
+        config = ExperimentConfig()
+    rows = run_experiment(args.name, config)
+    print(format_experiment(args.name, rows))
+    return 0
+
+
+# ------------------------------------------------------------------ entry point
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Spec-driven entry point of the PiPAD reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered names and presets")
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="execute a RunSpec (JSON path or preset)")
+    p_run.add_argument("spec", help="spec JSON file path or preset name")
+    p_run.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="dotted spec override, e.g. --set device.num_devices=4",
+    )
+    p_run.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser("serve", help="run a spec's online serving phase")
+    p_serve.add_argument("spec", help="spec JSON file path or preset name")
+    p_serve.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="dotted spec override, e.g. --set serving.num_shards=4",
+    )
+    p_serve.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("name", help="experiment name (see 'python -m repro list')")
+    scale = p_exp.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true", help="minimal smoke sweep")
+    scale.add_argument("--full", action="store_true", help="the paper's full grid")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

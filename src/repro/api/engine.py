@@ -1,0 +1,243 @@
+"""The execution façade: one ``Engine`` for every scenario the repo runs.
+
+``Engine.from_spec(...)`` accepts a :class:`~repro.api.spec.RunSpec` (or a
+dict / JSON file path) and resolves it through the registries in
+:mod:`repro.api.registries` into the right concrete machinery —
+:class:`~repro.core.trainer.PiPADTrainer`, any PyGT variant,
+:class:`~repro.core.distributed_trainer.DistributedTrainer`,
+:class:`~repro.serving.scheduler.ServingScheduler` or
+:class:`~repro.distributed.serving.ShardedServingEngine` — behind one
+``train()`` / ``serve()`` / ``report()`` lifecycle.  Numerics are untouched:
+the engine builds exactly the objects the old hand-wired entry points built,
+so losses are bit-identical with the pre-façade code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.api import registries
+from repro.api.spec import RunSpec
+from repro.baselines.base import DGNNTrainerBase
+from repro.baselines.results import TrainingResult
+from repro.core.distributed_trainer import COLLECTIVE_KEYS
+from repro.graph.datasets import load_dataset
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.nn.base_model import DGNNModel
+from repro.serving.deltas import ServingEvent, synthesize_serving_trace
+from repro.serving.metrics import ServingReport
+
+
+@dataclass
+class RunReport:
+    """Normalized outcome of one engine run (training and/or serving)."""
+
+    spec: RunSpec
+    training: Optional[TrainingResult] = None
+    serving: Optional[ServingReport] = None
+
+    # ------------------------------------------------------------------ views
+    def timeline_breakdown(self) -> Dict[str, float]:
+        """Merged per-kind simulated-seconds breakdown across both phases.
+
+        Serving keys are prefixed ``serving_`` so the two timelines never
+        collide; training keys keep their historical names.
+        """
+        merged: Dict[str, float] = {}
+        if self.training is not None:
+            merged.update(self.training.breakdown)
+        if self.serving is not None:
+            merged.update(
+                {f"serving_{k}": v for k, v in self.serving.breakdown.items()}
+            )
+        return merged
+
+    def collective_breakdown(self) -> Dict[str, float]:
+        """Collective times of a distributed run ({} on single-device runs)."""
+        if self.training is None:
+            return {}
+        return {
+            key: self.training.extras[key]
+            for key in COLLECTIVE_KEYS
+            if key in self.training.extras
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat scalar summary covering whichever phases ran."""
+        out: Dict[str, float] = {}
+        if self.training is not None:
+            out.update(
+                {
+                    "train_simulated_seconds": self.training.simulated_seconds,
+                    "train_steady_epoch_seconds": self.training.steady_epoch_seconds,
+                    "final_loss": self.training.final_loss,
+                    "gpu_utilization": self.training.gpu_utilization,
+                }
+            )
+            out.update(self.collective_breakdown())
+        if self.serving is not None:
+            out.update(
+                {f"serving_{k}": v for k, v in self.serving.metrics.summary().items()}
+            )
+        return out
+
+    def format(self) -> str:
+        """Human-readable multi-line report (CLI and example output)."""
+        lines = [
+            f"run: dataset={self.spec.dataset} model={self.spec.model} "
+            f"method={self.spec.method} device={self.spec.device.kind}"
+            + (
+                f" x{self.spec.device.num_devices} ({self.spec.device.interconnect})"
+                if self.spec.device.kind == "group"
+                else ""
+            )
+        ]
+        if self.training is not None:
+            t = self.training
+            lines.append(
+                f"  training [{t.method}]: {t.epochs} epochs, "
+                f"{t.simulated_seconds * 1e3:.2f} ms simulated "
+                f"({t.steady_epoch_seconds * 1e3:.2f} ms/steady epoch), "
+                f"final loss {t.final_loss:.4f}, gpu util {t.gpu_utilization:.1%}"
+            )
+            collectives = self.collective_breakdown()
+            if any(v > 0 for v in collectives.values()):
+                parts = ", ".join(f"{k}={v * 1e3:.2f} ms" for k, v in collectives.items())
+                lines.append(f"  collectives: {parts}")
+        if self.serving is not None:
+            lines.extend("  " + line for line in self.serving.format().splitlines())
+        return "\n".join(lines)
+
+
+class Engine:
+    """Resolves one :class:`RunSpec` into trainers/serving engines and runs it."""
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        *,
+        graph: Optional[DynamicGraph] = None,
+        model: Optional[DGNNModel] = None,
+    ) -> None:
+        self.spec = spec
+        self._graph: Optional[DynamicGraph] = graph
+        self._model: Optional[DGNNModel] = model
+        self._trainer: Optional[DGNNTrainerBase] = None
+        self._training: Optional[TrainingResult] = None
+        self._serving_engine: Optional[object] = None
+        self._serving_report: Optional[ServingReport] = None
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Union[RunSpec, Mapping[str, Any], str, Path],
+        *,
+        graph: Optional[DynamicGraph] = None,
+        model: Optional[DGNNModel] = None,
+    ) -> "Engine":
+        """Build an engine from a spec object, a plain dict, or a JSON path.
+
+        ``graph`` injects an already-loaded dataset (sweeps load one graph
+        and run several specs against it); when omitted, the engine loads
+        the spec's dataset lazily.  ``model`` injects already-trained
+        weights: :meth:`serve` then skips the offline training phase, so
+        two serving specs can be compared against the exact same model
+        instead of each retraining its own.
+        """
+        if isinstance(spec, RunSpec):
+            return cls(spec, graph=graph, model=model)
+        if isinstance(spec, Mapping):
+            return cls(RunSpec.from_dict(spec), graph=graph, model=model)
+        return cls(RunSpec.load(spec), graph=graph, model=model)
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The dataset analogue, loaded lazily and reused across phases."""
+        if self._graph is None:
+            self._graph = load_dataset(
+                self.spec.dataset,
+                seed=self.spec.seed,
+                num_snapshots=self.spec.num_snapshots,
+            )
+        return self._graph
+
+    @property
+    def trainer(self) -> DGNNTrainerBase:
+        """The resolved trainer (built on first access, then reused)."""
+        if self._trainer is None:
+            self._trainer = registries.build_trainer(self.spec, self.graph)
+        return self._trainer
+
+    @property
+    def model(self) -> DGNNModel:
+        """The model serving predicts with: injected weights win over the
+        trainer's own (so comparison runs can share one trained model)."""
+        if self._model is not None:
+            return self._model
+        return self.trainer.model
+
+    @property
+    def serving_engine(self):
+        """The resolved online engine (requires a serving section)."""
+        if self._serving_engine is None:
+            self._serving_engine = registries.build_serving(
+                self.spec, self.graph, self.model
+            )
+        return self._serving_engine
+
+    # ------------------------------------------------------------------ lifecycle
+    def train(self) -> TrainingResult:
+        """Run the training phase and cache its result."""
+        self._training = self.trainer.train()
+        return self._training
+
+    def default_trace(self) -> List[ServingEvent]:
+        """Synthesize the serving trace the spec's trace section describes."""
+        if self.spec.serving is None:
+            raise ValueError("spec has no serving section; cannot build a trace")
+        trace = self.spec.serving.trace
+        return synthesize_serving_trace(
+            self.graph.snapshots[-1],
+            num_events=trace.num_events,
+            request_fraction=trace.request_fraction,
+            nodes_per_request=trace.nodes_per_request,
+            mean_interarrival_ms=trace.mean_interarrival_ms,
+            seed=trace.seed,
+        )
+
+    def serve(
+        self, trace: Optional[Sequence[ServingEvent]] = None
+    ) -> ServingReport:
+        """Run the online phase: train if needed, then replay the trace.
+
+        The offline phase trains the model the serving engine predicts with;
+        a prior :meth:`train` call is reused, so ``train(); serve()`` and a
+        bare ``serve()`` execute identical work.  An injected ``model``
+        (see :meth:`from_spec`) skips training entirely.
+        """
+        if self._model is None and self._training is None:
+            self.train()
+        events = list(trace) if trace is not None else self.default_trace()
+        self._serving_report = self.serving_engine.run_trace(events)
+        return self._serving_report
+
+    def run(self) -> RunReport:
+        """Execute every phase the spec declares and return the report."""
+        self.train()
+        if self.spec.serving is not None:
+            self.serve()
+        return self.report()
+
+    def report(self) -> RunReport:
+        """Normalized report over whatever has executed so far."""
+        return RunReport(
+            spec=self.spec,
+            training=self._training,
+            serving=self._serving_report,
+        )
+
+
+__all__ = ["COLLECTIVE_KEYS", "Engine", "RunReport"]

@@ -1,0 +1,340 @@
+"""Declarative run specifications — one serializable description per scenario.
+
+A :class:`RunSpec` captures everything the repo can execute — dataset, model,
+training method, PiPAD runtime overrides, device topology and an optional
+serving section — as plain data.  Specs round-trip losslessly through
+``to_dict``/``from_dict`` and JSON, reject unknown keys at every nesting
+level, and validate all names against the live registries at construction
+time, so a typo fails immediately with the list of valid choices instead of
+deep inside a sweep.
+
+The :class:`~repro.api.engine.Engine` façade consumes a spec and resolves it
+into the concrete trainer / serving engine; nothing here imports the heavy
+execution machinery, so specs stay cheap to build, compare and serialize.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar, Union
+
+from repro.core.config import PiPADConfig
+from repro.graph.partition import PARTITION_MODES
+from repro.utils.validation import check_positive
+
+#: peer-link models understood by :class:`~repro.gpu.interconnect.Interconnect`
+INTERCONNECT_KINDS: Tuple[str, ...] = ("nvlink", "pcie")
+
+#: device topologies understood by the engine (keys of ``DEVICE_REGISTRY``)
+DEVICE_KINDS: Tuple[str, ...] = ("single", "group")
+
+#: serving topologies understood by the engine (keys of ``SERVING_REGISTRY``)
+SERVING_KINDS: Tuple[str, ...] = ("local", "sharded")
+
+#: names of the :class:`PiPADConfig` knobs a spec may override
+PIPAD_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(PiPADConfig))
+
+_T = TypeVar("_T", bound="_SpecBase")
+
+
+def _known_choices(valid: Union[Mapping[str, Any], Tuple[str, ...], list]) -> str:
+    return ", ".join(sorted(valid))
+
+
+def _reject_unknown_keys(cls: type, data: Mapping[str, Any]) -> None:
+    valid = {f.name for f in fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} key(s) {sorted(unknown)}; "
+            f"valid keys: {_known_choices(valid)}"
+        )
+
+
+class _SpecBase:
+    """Shared dict/JSON plumbing for the spec dataclasses."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view (tuples become lists, nested specs become dicts)."""
+
+        def convert(value: Any) -> Any:
+            if isinstance(value, _SpecBase):
+                return value.to_dict()
+            if isinstance(value, tuple):
+                return [convert(v) for v in value]
+            if isinstance(value, dict):
+                return {k: convert(v) for k, v in value.items()}
+            return value
+
+        return {
+            f.name: convert(getattr(self, f.name)) for f in fields(self)  # type: ignore[arg-type]
+        }
+
+    @classmethod
+    def from_dict(cls: Type[_T], data: Mapping[str, Any]) -> _T:
+        """Inverse of :meth:`to_dict`; raises on unknown keys."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"{cls.__name__} expects a mapping, got {type(data).__name__}")
+        _reject_unknown_keys(cls, data)
+        kwargs: Dict[str, Any] = {}
+        nested = {f.name: f for f in fields(cls)}
+        for key, value in data.items():
+            spec_cls = _NESTED_SPECS.get((cls.__name__, key))
+            if spec_cls is not None and value is not None:
+                value = spec_cls.from_dict(value)
+            elif nested[key].name in _TUPLE_FIELDS.get(cls.__name__, ()):
+                if value is not None:
+                    value = tuple(value)
+            kwargs[key] = value
+        return cls(**kwargs)  # type: ignore[call-arg]
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls: Type[_T], text: str) -> _T:
+        return cls.from_dict(json.loads(text))
+
+    def replace(self: _T, **changes: Any) -> _T:
+        return dataclasses.replace(self, **changes)  # type: ignore[type-var]
+
+
+@dataclass(frozen=True)
+class DeviceSpec(_SpecBase):
+    """Device topology: one GPU, or a K-device group with an interconnect."""
+
+    #: ``"single"`` (one simulated GPU) or ``"group"`` (sharded device group)
+    kind: str = "single"
+    #: number of devices in the group (must be 1 for ``"single"``)
+    num_devices: int = 1
+    #: peer-link model between group devices (``"nvlink"`` or ``"pcie"``)
+    interconnect: str = "nvlink"
+    #: node-assignment strategy of the partitioner (``"edges"`` or ``"nodes"``)
+    partition_mode: str = "edges"
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEVICE_KINDS:
+            raise ValueError(
+                f"unknown device kind {self.kind!r}; valid kinds: "
+                f"{_known_choices(DEVICE_KINDS)}"
+            )
+        check_positive("num_devices", self.num_devices)
+        if self.kind == "single" and self.num_devices != 1:
+            raise ValueError(
+                f"device kind 'single' requires num_devices=1, got {self.num_devices}; "
+                "use kind='group' for multi-device runs"
+            )
+        # kind 'group' allows num_devices=1: a one-device DeviceGroup is the
+        # reference run of scaling sweeps (same trainer class, no collectives).
+        if self.interconnect not in INTERCONNECT_KINDS:
+            raise ValueError(
+                f"unknown interconnect {self.interconnect!r}; valid kinds: "
+                f"{_known_choices(INTERCONNECT_KINDS)}"
+            )
+        if self.partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition_mode {self.partition_mode!r}; valid modes: "
+                f"{_known_choices(tuple(PARTITION_MODES))}"
+            )
+
+
+@dataclass(frozen=True)
+class TraceSpec(_SpecBase):
+    """Parameters of a synthesized delta/request serving trace."""
+
+    num_events: int = 160
+    request_fraction: float = 0.7
+    nodes_per_request: int = 8
+    mean_interarrival_ms: float = 0.5
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        check_positive("num_events", self.num_events)
+        check_positive("nodes_per_request", self.nodes_per_request)
+        if not 0.0 <= self.request_fraction <= 1.0:
+            raise ValueError(
+                f"request_fraction must be in [0, 1], got {self.request_fraction}"
+            )
+        if self.mean_interarrival_ms <= 0:
+            raise ValueError(
+                f"mean_interarrival_ms must be > 0, got {self.mean_interarrival_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ServingSpec(_SpecBase):
+    """Online-serving section of a run: engine topology + scheduler knobs."""
+
+    #: ``"local"`` (one :class:`ServingScheduler`) or ``"sharded"``
+    #: (:class:`ShardedServingEngine` over ``num_shards`` replicas)
+    kind: str = "local"
+    num_shards: int = 1
+    window: int = 8
+    max_batch_requests: int = 16
+    max_delay_ms: float = 2.0
+    enable_reuse: bool = True
+    enable_pipeline: bool = True
+    fixed_s_per: Optional[int] = None
+    #: trace replayed by ``Engine.serve()`` when none is passed explicitly
+    trace: TraceSpec = field(default_factory=TraceSpec)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.trace, Mapping):
+            object.__setattr__(self, "trace", TraceSpec.from_dict(self.trace))
+        if self.kind not in SERVING_KINDS:
+            raise ValueError(
+                f"unknown serving kind {self.kind!r}; valid kinds: "
+                f"{_known_choices(SERVING_KINDS)}"
+            )
+        check_positive("num_shards", self.num_shards)
+        if self.kind == "local" and self.num_shards != 1:
+            raise ValueError(
+                f"serving kind 'local' requires num_shards=1, got {self.num_shards}; "
+                "use kind='sharded' for multi-replica serving"
+            )
+        if self.kind == "sharded" and self.num_shards < 2:
+            raise ValueError(
+                f"serving kind 'sharded' requires num_shards>=2, got {self.num_shards}"
+            )
+
+    def to_serving_config(self) -> "ServingConfig":  # noqa: F821 - forward ref
+        """Materialize the scheduler-level :class:`ServingConfig`."""
+        from repro.serving.scheduler import ServingConfig
+
+        return ServingConfig(
+            window=self.window,
+            max_batch_requests=self.max_batch_requests,
+            max_delay_ms=self.max_delay_ms,
+            enable_reuse=self.enable_reuse,
+            enable_pipeline=self.enable_pipeline,
+            fixed_s_per=self.fixed_s_per,
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec(_SpecBase):
+    """One declarative, serializable description of an executable run."""
+
+    #: dataset analogue (any name in ``repro.graph.datasets.DATASET_ORDER``)
+    dataset: str = "covid19_england"
+    #: DGNN model (any name in ``repro.nn.MODEL_REGISTRY``)
+    model: str = "tgcn"
+    #: training method (any key of the baselines trainer registry)
+    method: str = "pipad"
+    num_snapshots: int = 12
+    frame_size: int = 8
+    epochs: int = 3
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    seed: int = 0
+    hidden_dim: Optional[int] = None
+    #: workload-extrapolation factor; ``None`` derives it from the dataset
+    cost_scale: Optional[float] = None
+    #: :class:`PiPADConfig` overrides (only consulted by PiPAD-family methods)
+    pipad: Dict[str, Any] = field(default_factory=dict)
+    device: DeviceSpec = field(default_factory=DeviceSpec)
+    #: optional online-serving phase; ``None`` means a training-only run
+    serving: Optional[ServingSpec] = None
+
+    def __post_init__(self) -> None:
+        from repro.baselines import _registry
+        from repro.graph.datasets import DATASET_ORDER
+        from repro.nn import MODEL_REGISTRY
+
+        # Accept plain mappings for the nested sections (the ergonomic literal
+        # form ``RunSpec(device={"kind": "group", ...})``).
+        if isinstance(self.device, Mapping):
+            object.__setattr__(self, "device", DeviceSpec.from_dict(self.device))
+        if isinstance(self.serving, Mapping):
+            object.__setattr__(self, "serving", ServingSpec.from_dict(self.serving))
+
+        dataset_key = self.dataset.lower().replace("-", "_")
+        if dataset_key not in DATASET_ORDER:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; valid datasets: "
+                f"{_known_choices(tuple(DATASET_ORDER))}"
+            )
+        model_key = self.model.lower().replace("-", "_")
+        if model_key not in MODEL_REGISTRY:
+            raise ValueError(
+                f"unknown model {self.model!r}; valid models: "
+                f"{_known_choices(MODEL_REGISTRY)}"
+            )
+        method_key = self.method.lower().replace("_", "-")
+        registry = _registry()
+        if method_key not in registry:
+            raise ValueError(
+                f"unknown method {self.method!r}; valid methods: "
+                f"{_known_choices(registry)}"
+            )
+        check_positive("num_snapshots", self.num_snapshots)
+        check_positive("frame_size", self.frame_size)
+        check_positive("epochs", self.epochs)
+        check_positive("lr", self.lr)
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}; valid: adam, sgd")
+        unknown = set(self.pipad) - set(PIPAD_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown PiPADConfig override(s) {sorted(unknown)}; "
+                f"valid keys: {_known_choices(PIPAD_FIELDS)}"
+            )
+        if self.device.kind == "group" and method_key != "pipad":
+            raise ValueError(
+                f"device kind 'group' is only supported by method 'pipad' "
+                f"(DistributedTrainer), got method {self.method!r}"
+            )
+        # Frozen dataclass: normalize names via object.__setattr__ so the
+        # engine and registries can rely on canonical keys downstream.
+        object.__setattr__(self, "dataset", dataset_key)
+        object.__setattr__(self, "model", model_key)
+        object.__setattr__(self, "method", method_key)
+
+    # ------------------------------------------------------------------ resolution
+    def pipad_config(self) -> PiPADConfig:
+        """Materialize the PiPAD runtime config with this spec's overrides."""
+        overrides = dict(self.pipad)
+        if "s_per_candidates" in overrides:
+            overrides["s_per_candidates"] = tuple(overrides["s_per_candidates"])
+        return PiPADConfig(**overrides)
+
+    def trainer_config(self) -> "TrainerConfig":  # noqa: F821 - forward ref
+        """Materialize the shared :class:`TrainerConfig` for this spec."""
+        from repro.baselines import TrainerConfig
+
+        return TrainerConfig(
+            model=self.model,
+            hidden_dim=self.hidden_dim,
+            frame_size=self.frame_size,
+            epochs=self.epochs,
+            lr=self.lr,
+            optimizer=self.optimizer,
+            seed=self.seed,
+            cost_scale=self.cost_scale,
+        )
+
+    # ------------------------------------------------------------------ files
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunSpec":
+        """Read a spec from a JSON file."""
+        return cls.from_json(Path(path).read_text())
+
+
+#: (owner class name, field name) -> nested spec class, for ``from_dict``
+_NESTED_SPECS: Dict[Tuple[str, str], type] = {
+    ("RunSpec", "device"): DeviceSpec,
+    ("RunSpec", "serving"): ServingSpec,
+    ("ServingSpec", "trace"): TraceSpec,
+}
+
+#: fields that serialize as JSON lists but are tuples in memory
+_TUPLE_FIELDS: Dict[str, Tuple[str, ...]] = {}

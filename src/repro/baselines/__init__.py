@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Type
 
 from repro.baselines.base import DGNNTrainerBase, TrainerConfig
@@ -36,6 +37,20 @@ def list_methods() -> List[str]:
     return list(METHOD_ORDER)
 
 
+def _make_trainer(
+    method: str,
+    graph: DynamicGraph,
+    config: Optional[TrainerConfig] = None,
+    **kwargs,
+) -> DGNNTrainerBase:
+    """Registry-backed trainer construction (engine-internal path)."""
+    key = method.lower().replace("_", "-")
+    registry = _registry()
+    if key not in registry:
+        raise KeyError(f"unknown method {method!r}; available: {sorted(registry)}")
+    return registry[key](graph, config, **kwargs)
+
+
 def make_trainer(
     method: str,
     graph: DynamicGraph,
@@ -46,12 +61,19 @@ def make_trainer(
 
     Extra keyword arguments are forwarded to the trainer constructor (PiPAD
     accepts its own ``pipad_config``).
+
+    .. deprecated::
+        Construct trainers through :class:`repro.api.Engine` with a
+        :class:`~repro.api.spec.RunSpec` instead; this shim remains for
+        backward compatibility.
     """
-    key = method.lower().replace("_", "-")
-    registry = _registry()
-    if key not in registry:
-        raise KeyError(f"unknown method {method!r}; available: {sorted(registry)}")
-    return registry[key](graph, config, **kwargs)
+    warnings.warn(
+        "make_trainer is deprecated; use repro.api.Engine.from_spec with a "
+        "RunSpec instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _make_trainer(method, graph, config, **kwargs)
 
 
 __all__ = [

@@ -48,6 +48,12 @@ from repro.utils.validation import check_positive
 #: degenerate shards that own nodes but no edges in some snapshot)
 _MIN_FRACTION = 1e-9
 
+#: ``TrainingResult.extras`` keys itemizing the collective times of a
+#: distributed run (written by :meth:`DistributedTrainer._extra_metrics` from
+#: ``DeviceGroup.collective_seconds``; consumed by the scaling experiment and
+#: the :class:`~repro.api.engine.RunReport` collective breakdown)
+COLLECTIVE_KEYS = ("halo_exchange_seconds", "all_gather_seconds", "all_reduce_seconds")
+
 
 @dataclass(frozen=True)
 class DistributedConfig:

@@ -22,7 +22,12 @@ from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
 from repro.nn.base_model import DGNNModel
 from repro.serving.deltas import GraphDelta, ServingEvent
 from repro.serving.metrics import ServingMetrics, ServingReport
-from repro.serving.scheduler import BatchResult, ServingConfig, ServingScheduler, build_serving_engine
+from repro.serving.scheduler import (
+    BatchResult,
+    ServingConfig,
+    ServingScheduler,
+    _build_serving_scheduler,
+)
 from repro.serving.store import DeltaReport
 from repro.utils.validation import check_positive
 
@@ -208,7 +213,7 @@ def build_sharded_serving_engine(
     """Wire ``num_shards`` serving replicas behind one sharded entry point."""
     check_positive("num_shards", num_shards)
     replicas = [
-        build_serving_engine(
+        _build_serving_scheduler(
             graph, model, config, gpu=gpu, pcie=pcie, host=host, scale=scale
         )
         for _ in range(num_shards)

@@ -9,23 +9,24 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core import PiPADConfig, PiPADTrainer
+from repro.api.engine import Engine
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
     load_experiment_graph,
-    trainer_config,
+    method_spec,
 )
 
-#: named ablation configurations (None values mean "use the full default")
-ABLATIONS: Dict[str, PiPADConfig] = {
-    "full": PiPADConfig(),
-    "no_reuse": PiPADConfig(enable_inter_frame_reuse=False),
-    "no_weight_reuse": PiPADConfig(enable_weight_reuse=False),
-    "no_pipeline": PiPADConfig(enable_pipeline=False),
-    "no_cuda_graph": PiPADConfig(use_cuda_graph=False),
-    "plain_csr": PiPADConfig(use_sliced_csr=False),
-    "fixed_s_per_2": PiPADConfig(fixed_s_per=2),
+#: named ablations as PiPADConfig overrides ({} means "the full default"),
+#: applied through the RunSpec ``pipad`` section
+ABLATIONS: Dict[str, Dict[str, object]] = {
+    "full": {},
+    "no_reuse": {"enable_inter_frame_reuse": False},
+    "no_weight_reuse": {"enable_weight_reuse": False},
+    "no_pipeline": {"enable_pipeline": False},
+    "no_cuda_graph": {"use_cuda_graph": False},
+    "plain_csr": {"use_sliced_csr": False},
+    "fixed_s_per_2": {"fixed_s_per": 2},
 }
 
 
@@ -40,11 +41,10 @@ def run(
     graph = load_experiment_graph(dataset, config)
     rows: Dict[str, Dict[str, float]] = {}
     baseline_seconds = None
-    for name, pipad_cfg in ABLATIONS.items():
-        pipad_cfg = PiPADConfig(
-            **{**pipad_cfg.__dict__, "preparing_epochs": config.preparing_epochs}
-        )
-        result = PiPADTrainer(graph, trainer_config(config, model), pipad_cfg).train()
+    base_spec = method_spec("pipad", model, config, dataset=dataset)
+    for name, overrides in ABLATIONS.items():
+        spec = base_spec.replace(pipad={**base_spec.pipad, **overrides})
+        result = Engine.from_spec(spec, graph=graph).train()
         seconds = result.steady_epoch_seconds
         if name == "full":
             baseline_seconds = seconds

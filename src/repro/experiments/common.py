@@ -12,11 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines import METHOD_ORDER, TrainerConfig, make_trainer
+from repro.baselines import METHOD_ORDER, _registry
 from repro.baselines.results import TrainingResult
-from repro.core import PiPADConfig
 from repro.graph.datasets import DATASET_ORDER, load_dataset
-from repro.nn import MODEL_ORDER
+from repro.nn import MODEL_ORDER, MODEL_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -31,6 +30,35 @@ class ExperimentConfig:
     epochs: int = 3
     seed: int = 0
     preparing_epochs: int = 1
+
+    def __post_init__(self) -> None:
+        # Fail fast with the valid choices: a typo'd name must not surface as
+        # a KeyError hours into a sweep.
+        unknown_datasets = [
+            d for d in self.datasets if d.lower().replace("-", "_") not in DATASET_ORDER
+        ]
+        if unknown_datasets:
+            raise ValueError(
+                f"unknown dataset(s) {unknown_datasets}; valid datasets: "
+                f"{sorted(DATASET_ORDER)}"
+            )
+        unknown_models = [
+            m for m in self.models if m.lower().replace("-", "_") not in MODEL_REGISTRY
+        ]
+        if unknown_models:
+            raise ValueError(
+                f"unknown model(s) {unknown_models}; valid models: "
+                f"{sorted(MODEL_REGISTRY)}"
+            )
+        registry = _registry()
+        unknown_methods = [
+            m for m in self.methods if m.lower().replace("_", "-") not in registry
+        ]
+        if unknown_methods:
+            raise ValueError(
+                f"unknown method(s) {unknown_methods}; valid methods: "
+                f"{sorted(registry)}"
+            )
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -63,12 +91,26 @@ def load_experiment_graph(name: str, config: ExperimentConfig):
     return load_dataset(name, seed=config.seed, num_snapshots=config.num_snapshots)
 
 
-def trainer_config(config: ExperimentConfig, model: str) -> TrainerConfig:
-    return TrainerConfig(
+def method_spec(
+    method: str, model: str, config: ExperimentConfig, *, dataset: str
+) -> "RunSpec":  # noqa: F821 - forward ref
+    """The :class:`~repro.api.spec.RunSpec` one sweep combination resolves to."""
+    from repro.api.spec import RunSpec
+
+    pipad = (
+        {"preparing_epochs": config.preparing_epochs}
+        if method.lower() == "pipad"
+        else {}
+    )
+    return RunSpec(
+        dataset=dataset,
         model=model,
+        method=method,
+        num_snapshots=config.num_snapshots,
         frame_size=config.frame_size,
         epochs=config.epochs,
         seed=config.seed,
+        pipad=pipad,
     )
 
 
@@ -78,12 +120,17 @@ def run_method(
     model: str,
     config: ExperimentConfig,
 ) -> TrainingResult:
-    """Train one (method, model, dataset) combination and return its result."""
-    kwargs = {}
-    if method.lower() == "pipad":
-        kwargs["pipad_config"] = PiPADConfig(preparing_epochs=config.preparing_epochs)
-    trainer = make_trainer(method, graph, trainer_config(config, model), **kwargs)
-    return trainer.train()
+    """Train one (method, model, dataset) combination and return its result.
+
+    The combination is expressed as a :class:`~repro.api.spec.RunSpec` and
+    executed through the unified :class:`~repro.api.engine.Engine`, sharing
+    the already-loaded ``graph`` across the sweep's methods.
+    """
+    from repro.api.engine import Engine
+
+    dataset = str(graph.metadata.get("dataset", graph.name))
+    spec = method_spec(method, model, config, dataset=dataset)
+    return Engine.from_spec(spec, graph=graph).train()
 
 
 def format_table(

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core import PiPADConfig, PiPADTrainer
+from repro.api.engine import Engine
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
     load_experiment_graph,
-    trainer_config,
+    method_spec,
 )
 from repro.graph.datasets import get_dataset_spec
 from repro.profiling.load_balance import sliced_vs_csr_balance
@@ -31,14 +31,12 @@ def run(config: Optional[ExperimentConfig] = None) -> Dict[str, Dict[str, float]
         scale = max(1.0, spec_ds.paper.num_nodes / spec_ds.config.num_nodes)
         balance = sliced_vs_csr_balance(graph, scale=scale)
 
-        sliced_result = PiPADTrainer(
-            graph, trainer_config(config, model), PiPADConfig(preparing_epochs=config.preparing_epochs)
-        ).train()
-        csr_result = PiPADTrainer(
-            graph,
-            trainer_config(config, model),
-            PiPADConfig(preparing_epochs=config.preparing_epochs, use_sliced_csr=False),
-        ).train()
+        sliced_spec = method_spec("pipad", model, config, dataset=dataset)
+        sliced_result = Engine.from_spec(sliced_spec, graph=graph).train()
+        csr_spec = sliced_spec.replace(
+            pipad={**sliced_spec.pipad, "use_sliced_csr": False}
+        )
+        csr_result = Engine.from_spec(csr_spec, graph=graph).train()
         rows[dataset] = {
             **balance,
             "end_to_end_speedup": csr_result.steady_epoch_seconds

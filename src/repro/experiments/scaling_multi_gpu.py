@@ -14,18 +14,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import DistributedConfig, DistributedTrainer, PiPADConfig
+from repro.api.engine import Engine
+from repro.api.spec import DeviceSpec
+from repro.core.distributed_trainer import COLLECTIVE_KEYS
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
     load_experiment_graph,
-    trainer_config,
+    method_spec,
 )
 
 #: device counts swept by default (1 is the reference run)
 DEFAULT_DEVICE_COUNTS = (1, 2, 4, 8)
-
-COLLECTIVE_KEYS = ("halo_exchange_seconds", "all_gather_seconds", "all_reduce_seconds")
 
 
 def run(
@@ -45,19 +45,19 @@ def run(
     dataset = config.datasets[0]
     model = config.models[0]
     graph = load_experiment_graph(dataset, config)
-    base = trainer_config(config, model)
-    base.cost_scale = cost_scale
+    base_spec = method_spec("pipad", model, config, dataset=dataset).replace(
+        cost_scale=cost_scale
+    )
 
     steady_by_devices: Dict[int, float] = {}
     results = {}
     for devices in device_counts:
-        trainer = DistributedTrainer(
-            graph,
-            base,
-            PiPADConfig(preparing_epochs=config.preparing_epochs),
-            DistributedConfig(num_devices=devices, interconnect=interconnect),
+        spec = base_spec.replace(
+            device=DeviceSpec(
+                kind="group", num_devices=devices, interconnect=interconnect
+            )
         )
-        result = trainer.train()
+        result = Engine.from_spec(spec, graph=graph).train()
         steady_by_devices[devices] = result.steady_epoch_seconds
         results[devices] = result
 

@@ -20,6 +20,7 @@ touched rows rather than to the graph.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -430,6 +431,29 @@ class ServingScheduler:
         )
 
 
+def _build_serving_scheduler(
+    graph: Union[DynamicGraph, IncrementalSnapshotStore],
+    model: DGNNModel,
+    config: Optional[ServingConfig] = None,
+    *,
+    gpu: Optional[GPUSpec] = None,
+    pcie: Optional[PCIeSpec] = None,
+    host: Optional[HostSpec] = None,
+    scale: float = 1.0,
+) -> ServingScheduler:
+    """Wire a store + scheduler for a trained model (engine-internal path)."""
+    config = config or ServingConfig()
+    if isinstance(graph, IncrementalSnapshotStore):
+        store = graph
+        dataset = "serving"
+    else:
+        store = IncrementalSnapshotStore(graph, window=config.window, host=host)
+        dataset = graph.name
+    return ServingScheduler(
+        model, store, config, gpu=gpu, pcie=pcie, host=host, scale=scale, dataset=dataset
+    )
+
+
 def build_serving_engine(
     graph: Union[DynamicGraph, IncrementalSnapshotStore],
     model: DGNNModel,
@@ -440,14 +464,19 @@ def build_serving_engine(
     host: Optional[HostSpec] = None,
     scale: float = 1.0,
 ) -> ServingScheduler:
-    """Wire a store + scheduler for a trained model in one call."""
-    config = config or ServingConfig()
-    if isinstance(graph, IncrementalSnapshotStore):
-        store = graph
-        dataset = "serving"
-    else:
-        store = IncrementalSnapshotStore(graph, window=config.window, host=host)
-        dataset = graph.name
-    return ServingScheduler(
-        model, store, config, gpu=gpu, pcie=pcie, host=host, scale=scale, dataset=dataset
+    """Wire a store + scheduler for a trained model in one call.
+
+    .. deprecated::
+        Construct serving engines through :class:`repro.api.Engine` with a
+        :class:`~repro.api.spec.RunSpec` serving section instead; this shim
+        remains for backward compatibility.
+    """
+    warnings.warn(
+        "build_serving_engine is deprecated; use repro.api.Engine.from_spec "
+        "with a RunSpec serving section instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_serving_scheduler(
+        graph, model, config, gpu=gpu, pcie=pcie, host=host, scale=scale
     )

@@ -1,0 +1,124 @@
+"""The ``python -m repro`` CLI surface: list/run/serve/experiment."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import PRESETS, _apply_overrides, load_spec, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestList:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("datasets:", "models:", "methods:", "device_kinds:",
+                        "serving_kinds:", "experiments:", "presets:"):
+            assert section in out
+        assert "pipad" in out
+        assert "covid19_england" in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        assert "sharded" in catalogue["serving_kinds"]
+        assert "quick" in catalogue["presets"]
+        assert "table1" in catalogue["experiments"]
+
+
+class TestSpecLoading:
+    def test_presets_all_validate(self):
+        for name in PRESETS:
+            spec = load_spec(name)
+            assert spec.dataset  # parsed and validated
+
+    def test_load_spec_from_file(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"dataset": "hepth", "method": "pygt"}))
+        spec = load_spec(str(path))
+        assert (spec.dataset, spec.method) == ("hepth", "pygt")
+
+    def test_unknown_source_names_presets(self):
+        with pytest.raises(ValueError, match="neither a readable JSON file nor a preset"):
+            load_spec("no-such-spec")
+
+    def test_set_overrides_nested_keys(self):
+        spec = load_spec(
+            "distributed-4gpu",
+            ["device.num_devices=8", "epochs=5", "device.interconnect=pcie"],
+        )
+        assert spec.device.num_devices == 8
+        assert spec.device.interconnect == "pcie"
+        assert spec.epochs == 5
+
+    def test_apply_overrides_rejects_bad_syntax(self):
+        with pytest.raises(ValueError, match="key=value"):
+            _apply_overrides({}, ["epochs"])
+
+    def test_shipped_spec_files_load(self):
+        for path in sorted((REPO_ROOT / "specs").glob("*.json")):
+            assert load_spec(str(path)).dataset
+
+
+class TestRun:
+    def test_run_quick_preset(self, capsys):
+        assert main(["run", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "training [PiPAD]" in out
+        assert "final loss" in out
+
+    def test_run_json_summary(self, capsys):
+        assert main(["run", "quick", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "final_loss" in summary
+        assert "train_simulated_seconds" in summary
+
+    def test_run_invalid_spec_exits_2(self, capsys):
+        assert main(["run", "quick", "--set", "dataset=imagenet"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_requires_serving_section(self, capsys):
+        assert main(["serve", "quick"]) == 2
+        assert "no serving section" in capsys.readouterr().err
+
+    def test_serve_runs_spec_with_serving(self, capsys):
+        assert main([
+            "serve", "sharded-serving",
+            "--set", "num_snapshots=8",
+            "--set", "serving.trace.num_events=40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine=PiPAD-Serve-x2" in out
+        assert "latency p50=" in out
+
+
+class TestExperiment:
+    def test_experiment_quick(self, capsys):
+        assert main(["experiment", "table1", "--quick"]) == 0
+        assert "covid19_england" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_module_entry_point_runs():
+    """``python -m repro`` is wired to the CLI (subprocess smoke)."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "list", "--json"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    assert result.returncode == 0, result.stderr
+    assert "presets" in json.loads(result.stdout)

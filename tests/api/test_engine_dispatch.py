@@ -1,0 +1,225 @@
+"""Engine dispatch: every method/topology/serving combination resolves to the
+expected class, and the unified path is numerically identical to the old
+hand-wired entry points (bit-identical losses)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import DeviceSpec, Engine, RunSpec, ServingSpec, TraceSpec
+from repro.baselines import (
+    PyGTAsyncTrainer,
+    PyGTGeSpMMTrainer,
+    PyGTReuseTrainer,
+    PyGTTrainer,
+    TrainerConfig,
+    make_trainer,
+)
+from repro.core import DistributedConfig, DistributedTrainer, PiPADConfig, PiPADTrainer
+from repro.core.distributed_trainer import DistributedTrainer as CoreDistributedTrainer
+from repro.distributed import ShardedServingEngine
+from repro.graph import load_dataset
+from repro.serving import ServingConfig, ServingScheduler, build_serving_engine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SPEC_DIR = REPO_ROOT / "specs"
+
+_QUICK = dict(dataset="covid19_england", model="tgcn", num_snapshots=8, frame_size=4, epochs=2)
+
+
+class TestTrainerDispatch:
+    @pytest.mark.parametrize(
+        "method, expected",
+        [
+            ("pygt", PyGTTrainer),
+            ("pygt-a", PyGTAsyncTrainer),
+            ("pygt-r", PyGTReuseTrainer),
+            ("pygt-g", PyGTGeSpMMTrainer),
+            ("pipad", PiPADTrainer),
+        ],
+    )
+    def test_single_device_methods(self, method, expected):
+        engine = Engine.from_spec(RunSpec(method=method, **_QUICK))
+        assert type(engine.trainer) is expected
+
+    def test_group_device_resolves_distributed_trainer(self):
+        spec = RunSpec(
+            method="pipad", device=DeviceSpec(kind="group", num_devices=2), **_QUICK
+        )
+        engine = Engine.from_spec(spec)
+        assert type(engine.trainer) is CoreDistributedTrainer
+        assert engine.trainer.dist.num_devices == 2
+
+    def test_group_device_settings_reach_trainer(self):
+        spec = RunSpec(
+            method="pipad",
+            device=DeviceSpec(
+                kind="group", num_devices=3, interconnect="pcie", partition_mode="nodes"
+            ),
+            **_QUICK,
+        )
+        trainer = Engine.from_spec(spec).trainer
+        assert trainer.dist.interconnect == "pcie"
+        assert trainer.dist.partition_mode == "nodes"
+        assert len(trainer.group.devices) == 3
+
+
+class TestServingDispatch:
+    def test_local_serving_resolves_scheduler(self):
+        spec = RunSpec(serving=ServingSpec(), **_QUICK)
+        engine = Engine.from_spec(spec)
+        assert type(engine.serving_engine) is ServingScheduler
+
+    def test_sharded_serving_resolves_sharded_engine(self):
+        spec = RunSpec(serving=ServingSpec(kind="sharded", num_shards=3), **_QUICK)
+        engine = Engine.from_spec(spec)
+        assert type(engine.serving_engine) is ShardedServingEngine
+        assert engine.serving_engine.num_shards == 3
+
+    def test_serving_without_section_raises(self):
+        engine = Engine.from_spec(RunSpec(**_QUICK))
+        with pytest.raises(ValueError, match="no serving section"):
+            _ = engine.serving_engine
+
+    def test_serving_config_reaches_scheduler(self):
+        spec = RunSpec(
+            serving=ServingSpec(window=4, max_batch_requests=2, enable_reuse=False),
+            **_QUICK,
+        )
+        scheduler = Engine.from_spec(spec).serving_engine
+        assert scheduler.config.window == 4
+        assert scheduler.config.max_batch_requests == 2
+        assert scheduler.config.enable_reuse is False
+
+
+class TestParityWithOldEntryPoints:
+    """The façade builds exactly what the hand-wired paths built."""
+
+    def test_pipad_losses_bit_identical(self):
+        spec = RunSpec(method="pipad", pipad={"preparing_epochs": 1}, **_QUICK)
+        new = Engine.from_spec(spec).train()
+
+        graph = load_dataset("covid19_england", seed=0, num_snapshots=8)
+        old = PiPADTrainer(
+            graph,
+            TrainerConfig(model="tgcn", frame_size=4, epochs=2),
+            PiPADConfig(preparing_epochs=1),
+        ).train()
+        assert new.loss_curve() == old.loss_curve()
+        assert new.final_loss == old.final_loss
+        assert new.simulated_seconds == old.simulated_seconds
+
+    def test_make_trainer_shim_matches_engine(self):
+        spec = RunSpec(method="pygt-r", **_QUICK)
+        new = Engine.from_spec(spec).train()
+
+        graph = load_dataset("covid19_england", seed=0, num_snapshots=8)
+        with pytest.deprecated_call():
+            trainer = make_trainer(
+                "pygt-r", graph, TrainerConfig(model="tgcn", frame_size=4, epochs=2)
+            )
+        old = trainer.train()
+        assert new.loss_curve() == old.loss_curve()
+        assert new.simulated_seconds == old.simulated_seconds
+
+    def test_distributed_losses_bit_identical(self):
+        spec = RunSpec(
+            method="pipad",
+            device=DeviceSpec(kind="group", num_devices=2),
+            **_QUICK,
+        )
+        new = Engine.from_spec(spec).train()
+
+        graph = load_dataset("covid19_england", seed=0, num_snapshots=8)
+        old = DistributedTrainer(
+            graph,
+            TrainerConfig(model="tgcn", frame_size=4, epochs=2),
+            PiPADConfig(),
+            DistributedConfig(num_devices=2),
+        ).train()
+        assert new.loss_curve() == old.loss_curve()
+        assert new.simulated_seconds == old.simulated_seconds
+
+    def test_serving_report_matches_old_builder(self):
+        spec = RunSpec(
+            method="pipad",
+            serving=ServingSpec(
+                window=6,
+                max_batch_requests=4,
+                max_delay_ms=1.0,
+                trace=TraceSpec(num_events=40, seed=5),
+            ),
+            **_QUICK,
+        )
+        engine = Engine.from_spec(spec)
+        trace = engine.default_trace()
+        new = engine.serve(trace)
+
+        graph = load_dataset("covid19_england", seed=0, num_snapshots=8)
+        trainer = PiPADTrainer(
+            graph, TrainerConfig(model="tgcn", frame_size=4, epochs=2), PiPADConfig()
+        )
+        trainer.train()
+        with pytest.deprecated_call():
+            old_engine = build_serving_engine(
+                graph,
+                trainer.model,
+                ServingConfig(window=6, max_batch_requests=4, max_delay_ms=1.0),
+            )
+        old = old_engine.run_trace(trace)
+        assert new.metrics.num_requests == old.metrics.num_requests
+        assert new.metrics.p50_latency == old.metrics.p50_latency
+        assert new.metrics.p99_latency == old.metrics.p99_latency
+        assert new.simulated_seconds == old.simulated_seconds
+
+
+class TestShippedSpecs:
+    """The four specs/ JSONs all execute through Engine.from_spec and agree
+    with the pre-refactor entry points."""
+
+    def test_pipad_single_gpu_spec(self):
+        report = Engine.from_spec(SPEC_DIR / "train_pipad_single_gpu.json").run()
+        graph = load_dataset("covid19_england", seed=0, num_snapshots=14)
+        old = PiPADTrainer(
+            graph, TrainerConfig(model="tgcn", frame_size=8, epochs=3), PiPADConfig()
+        ).train()
+        assert report.training.final_loss == old.final_loss
+        assert report.training.loss_curve() == old.loss_curve()
+
+    def test_pygt_baseline_spec(self):
+        report = Engine.from_spec(SPEC_DIR / "train_pygt_baseline.json").run()
+        graph = load_dataset("covid19_england", seed=0, num_snapshots=14)
+        old = PyGTTrainer(
+            graph, TrainerConfig(model="tgcn", frame_size=8, epochs=3)
+        ).train()
+        assert report.training.final_loss == old.final_loss
+        assert report.training.loss_curve() == old.loss_curve()
+
+    def test_distributed_4gpu_spec(self):
+        report = Engine.from_spec(SPEC_DIR / "train_distributed_4gpu.json").run()
+        training = report.training
+        graph = load_dataset("flickr", seed=0, num_snapshots=12)
+        old = DistributedTrainer(
+            graph,
+            TrainerConfig(model="tgcn", frame_size=8, epochs=3, cost_scale=5000.0),
+            PiPADConfig(),
+            DistributedConfig(num_devices=4, interconnect="nvlink"),
+        ).train()
+        assert training.final_loss == old.final_loss
+        assert training.loss_curve() == old.loss_curve()
+        assert training.simulated_seconds == old.simulated_seconds
+        # Distributed runs itemize their collectives in the normalized report.
+        collectives = report.collective_breakdown()
+        assert collectives["all_reduce_seconds"] > 0
+        assert collectives["halo_exchange_seconds"] > 0
+
+    def test_sharded_serving_spec(self):
+        engine = Engine.from_spec(SPEC_DIR / "serve_sharded.json")
+        report = engine.run()
+        assert report.serving is not None
+        assert type(engine.serving_engine) is ShardedServingEngine
+        assert engine.serving_engine.num_shards == 2
+        assert report.serving.metrics.num_requests > 0
+        assert report.serving.extras["num_shards"] == 2.0

@@ -1,0 +1,173 @@
+"""RunSpec construction, validation and serialization round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import DeviceSpec, RunSpec, ServingSpec, TraceSpec
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_defaults(self):
+        spec = RunSpec(dataset="covid19_england")
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_round_trip_full(self):
+        spec = RunSpec(
+            dataset="flickr",
+            model="evolvegcn",
+            method="pygt-a",
+            num_snapshots=9,
+            frame_size=4,
+            epochs=2,
+            lr=5e-3,
+            optimizer="sgd",
+            seed=11,
+            hidden_dim=12,
+            cost_scale=42.0,
+            pipad={"preparing_epochs": 2, "fixed_s_per": 2},
+            device=DeviceSpec(kind="single"),
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_with_serving(self):
+        spec = RunSpec(
+            dataset="covid19_england",
+            serving=ServingSpec(
+                kind="sharded",
+                num_shards=3,
+                window=6,
+                fixed_s_per=2,
+                trace=TraceSpec(num_events=50, seed=99),
+            ),
+            device=DeviceSpec(kind="group", num_devices=2, interconnect="pcie"),
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.serving.trace.seed == 99
+
+    def test_to_dict_is_plain_json_data(self):
+        spec = RunSpec(dataset="pems08", serving=ServingSpec())
+        data = spec.to_dict()
+        # Must survive a JSON encode/decode without type loss.
+        assert json.loads(json.dumps(data)) == data
+        assert isinstance(data["device"], dict)
+        assert isinstance(data["serving"]["trace"], dict)
+
+    def test_file_round_trip(self, tmp_path):
+        spec = RunSpec(dataset="hepth", method="pygt-r", epochs=5)
+        path = spec.save(tmp_path / "spec.json")
+        assert RunSpec.load(path) == spec
+
+
+class TestUnknownKeyRejection:
+    def test_top_level_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown RunSpec key.*typo_field"):
+            RunSpec.from_dict({"dataset": "flickr", "typo_field": 1})
+
+    def test_device_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown DeviceSpec key"):
+            RunSpec.from_dict({"dataset": "flickr", "device": {"gpus": 4}})
+
+    def test_serving_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown ServingSpec key"):
+            RunSpec.from_dict({"dataset": "flickr", "serving": {"shards": 2}})
+
+    def test_trace_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown TraceSpec key"):
+            RunSpec.from_dict(
+                {"dataset": "flickr", "serving": {"trace": {"events": 10}}}
+            )
+
+    def test_pipad_override_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown PiPADConfig override"):
+            RunSpec(dataset="flickr", pipad={"enable_warp_drive": True})
+
+
+class TestValidation:
+    def test_unknown_dataset_names_choices(self):
+        with pytest.raises(ValueError, match="unknown dataset 'mnist'.*covid19_england"):
+            RunSpec(dataset="mnist")
+
+    def test_unknown_model_names_choices(self):
+        with pytest.raises(ValueError, match="unknown model 'gpt'.*tgcn"):
+            RunSpec(dataset="flickr", model="gpt")
+
+    def test_unknown_method_names_choices(self):
+        with pytest.raises(ValueError, match="unknown method 'dgl'.*pipad"):
+            RunSpec(dataset="flickr", method="dgl")
+
+    def test_name_normalization(self):
+        spec = RunSpec(dataset="COVID19-England", model="MPNN-LSTM", method="PyGT_A")
+        assert spec.dataset == "covid19_england"
+        assert spec.model == "mpnn_lstm"
+        assert spec.method == "pygt-a"
+
+    def test_group_device_requires_pipad(self):
+        with pytest.raises(ValueError, match="only supported by method 'pipad'"):
+            RunSpec(
+                dataset="flickr",
+                method="pygt",
+                device=DeviceSpec(kind="group", num_devices=2),
+            )
+
+    def test_single_device_rejects_multiple_devices(self):
+        with pytest.raises(ValueError, match="requires num_devices=1"):
+            DeviceSpec(kind="single", num_devices=4)
+
+    def test_unknown_device_kind(self):
+        with pytest.raises(ValueError, match="unknown device kind"):
+            DeviceSpec(kind="tpu_pod")
+
+    def test_unknown_interconnect(self):
+        with pytest.raises(ValueError, match="unknown interconnect"):
+            DeviceSpec(kind="group", num_devices=2, interconnect="infiniband")
+
+    def test_unknown_serving_kind(self):
+        with pytest.raises(ValueError, match="unknown serving kind"):
+            ServingSpec(kind="edge")
+
+    def test_local_serving_rejects_shards(self):
+        with pytest.raises(ValueError, match="requires num_shards=1"):
+            ServingSpec(kind="local", num_shards=2)
+
+    def test_sharded_serving_requires_shards(self):
+        with pytest.raises(ValueError, match="requires num_shards>=2"):
+            ServingSpec(kind="sharded", num_shards=1)
+
+    def test_trace_fraction_bounds(self):
+        with pytest.raises(ValueError, match="request_fraction"):
+            TraceSpec(request_fraction=1.5)
+
+    def test_bad_optimizer(self):
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            RunSpec(dataset="flickr", optimizer="lion")
+
+
+class TestMaterialization:
+    def test_trainer_config_matches_fields(self):
+        spec = RunSpec(
+            dataset="flickr", model="tgcn", frame_size=4, epochs=7, lr=2e-3, seed=5
+        )
+        tc = spec.trainer_config()
+        assert (tc.model, tc.frame_size, tc.epochs, tc.lr, tc.seed) == (
+            "tgcn", 4, 7, 2e-3, 5,
+        )
+
+    def test_pipad_config_applies_overrides(self):
+        spec = RunSpec(
+            dataset="flickr",
+            pipad={"preparing_epochs": 3, "s_per_candidates": [2, 4]},
+        )
+        cfg = spec.pipad_config()
+        assert cfg.preparing_epochs == 3
+        assert cfg.s_per_candidates == (2, 4)
+
+    def test_serving_spec_materializes_config(self):
+        serving = ServingSpec(window=6, max_batch_requests=4, enable_reuse=False)
+        cfg = serving.to_serving_config()
+        assert cfg.window == 6
+        assert cfg.max_batch_requests == 4
+        assert cfg.enable_reuse is False

@@ -1,0 +1,47 @@
+"""Every lazily exported top-level name must actually resolve."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+@pytest.mark.parametrize("name", sorted(repro._LAZY_EXPORTS))
+def test_lazy_export_resolves(name):
+    assert getattr(repro, name) is not None
+
+
+def test_all_matches_lazy_exports():
+    assert set(repro.__all__) == {"__version__", *repro._LAZY_EXPORTS}
+
+
+def test_dir_lists_exports():
+    listing = dir(repro)
+    for name in repro._LAZY_EXPORTS:
+        assert name in listing
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError, match="no attribute 'FluxCapacitor'"):
+        repro.FluxCapacitor
+
+
+def test_subpackage_alls_are_exported_at_top_level():
+    """The serving/distributed/api façade names are all reachable from repro.*"""
+    import repro.api
+    import repro.distributed
+    import repro.serving
+
+    for module, skip in (
+        (repro.serving, set()),
+        (repro.distributed, {"COMM_STREAM", "RESOURCE_PEER_LINK"}),
+    ):
+        missing = [
+            name
+            for name in module.__all__
+            if name not in skip and name not in repro._LAZY_EXPORTS
+        ]
+        assert not missing, f"{module.__name__} names missing from repro: {missing}"
+    for name in ("Engine", "RunSpec", "RunReport", "DeviceSpec", "ServingSpec", "TraceSpec"):
+        assert name in repro._LAZY_EXPORTS
