@@ -1,0 +1,46 @@
+"""Benchmark: frame-pipeline scaling of PiPAD training across devices.
+
+Trains one aggregation-dominated workload at 1/2/4 pipeline stages — each
+depth a ``RunSpec`` with a ``device: {kind: "pipeline"}`` topology resolved
+through :class:`repro.api.Engine` — and prints the scaling table with the
+pipeline bubble and the point-to-point state-handoff time itemized against
+the ``group`` topology's gradient all-reduce on the identical workload.  The
+assertion mirrors the pipeline acceptance criterion: >1.3x steady-epoch
+speedup at 4 devices over the one-device run, with bubble time reported.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import format_experiment, run_experiment
+
+
+def test_pipeline_scaling(benchmark, bench_config):
+    config = bench_config.with_overrides(
+        datasets=("flickr",), models=("evolvegcn",), epochs=3
+    )
+    rows = run_once(
+        benchmark, run_experiment, "scaling_pipeline", config, device_counts=(1, 2, 4)
+    )
+    print("\n" + format_experiment("scaling_pipeline", rows))
+
+    by_devices = {int(row["devices"]): row for row in rows}
+    assert by_devices[1]["speedup"] == 1.0
+    # Acceptance criterion: >1.3x steady-epoch speedup at 4 devices.
+    assert by_devices[4]["speedup"] > 1.3
+    assert by_devices[2]["speedup"] > 1.0
+    # The pipeline costs are itemized, not folded into compute: every
+    # multi-stage run reports its state handoffs and its bubble.
+    for devices, row in by_devices.items():
+        if devices > 1:
+            assert row["peer_transfer_seconds"] > 0
+            assert row["bubble_seconds"] > 0
+            assert row["all_reduce_seconds"] > 0
+    # One stage has no pipeline: no handoffs, no bubble.
+    assert by_devices[1]["peer_transfer_seconds"] == 0.0
+    assert by_devices[1]["bubble_seconds"] == 0.0
+    # The comparison column: the group topology's all-reduce time on the
+    # same workload is reported next to the pipeline's bubble.
+    assert by_devices[4]["group_all_reduce_seconds"] > 0
+    assert by_devices[4]["group_steady_epoch_seconds"] > 0

@@ -22,6 +22,18 @@ def pytest_addoption(parser):
         default=False,
         help="run the paper's full dataset/model/method grid (slow)",
     )
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink the workloads (fewer snapshots, smaller frames) so the "
+        "benchmark scripts double as a CI smoke run",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--full-sweep") and config.getoption("--quick"):
+        raise pytest.UsageError("--full-sweep and --quick are mutually exclusive")
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +41,14 @@ def bench_config(request) -> ExperimentConfig:
     """Sweep used by the heavier end-to-end benchmarks."""
     if request.config.getoption("--full-sweep"):
         return ExperimentConfig.full()
+    if request.config.getoption("--quick"):
+        return ExperimentConfig(
+            datasets=("flickr", "covid19_england"),
+            models=("evolvegcn", "tgcn"),
+            num_snapshots=10,
+            frame_size=6,
+            epochs=3,
+        )
     return ExperimentConfig(
         datasets=("flickr", "youtube", "hepth", "covid19_england"),
         models=("evolvegcn", "tgcn"),
@@ -43,6 +63,14 @@ def light_config(request) -> ExperimentConfig:
     """Smaller sweep for benchmarks that would otherwise retrain everything."""
     if request.config.getoption("--full-sweep"):
         return ExperimentConfig.full()
+    if request.config.getoption("--quick"):
+        return ExperimentConfig(
+            datasets=("covid19_england",),
+            models=("evolvegcn",),
+            num_snapshots=10,
+            frame_size=6,
+            epochs=3,
+        )
     return ExperimentConfig(
         datasets=("flickr", "covid19_england"),
         models=("evolvegcn",),

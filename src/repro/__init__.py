@@ -73,13 +73,18 @@ _LAZY_EXPORTS = {
     # distributed execution
     "DistributedConfig": "repro.distributed",
     "DistributedTrainer": "repro.distributed",
+    "PipelineConfig": "repro.distributed",
+    "PipelineTrainer": "repro.distributed",
     "DeviceGroup": "repro.distributed",
+    "FramePartitioner": "repro.distributed",
+    "FrameStage": "repro.distributed",
     "GraphPartitioner": "repro.distributed",
     "Interconnect": "repro.distributed",
     "LinkSpec": "repro.distributed",
     "NVLINK": "repro.distributed",
     "PCIE_PEER": "repro.distributed",
     "PARTITION_MODES": "repro.distributed",
+    "SCHEDULE_MODES": "repro.distributed",
     "ShardGroup": "repro.distributed",
     "SnapshotShard": "repro.distributed",
     "ShardedServingEngine": "repro.distributed",

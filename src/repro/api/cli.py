@@ -36,7 +36,7 @@ from repro.api.registries import (
 from repro.api.spec import RunSpec
 
 #: built-in specs runnable by name (``python -m repro run quick``); the same
-#: four scenarios ship as JSON files under ``specs/`` at the repo root
+#: scenarios ship as JSON files under ``specs/`` at the repo root
 PRESETS: Dict[str, Dict[str, Any]] = {
     "quick": {
         "dataset": "covid19_england",
@@ -72,6 +72,22 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "cost_scale": 5000.0,
         "device": {"kind": "group", "num_devices": 4, "interconnect": "nvlink"},
     },
+    "pipeline-4gpu": {
+        "dataset": "flickr",
+        "model": "evolvegcn",
+        "method": "pipad",
+        "num_snapshots": 12,
+        "frame_size": 8,
+        "epochs": 3,
+        "cost_scale": 5000.0,
+        "pipad": {"fixed_s_per": 2},
+        "device": {
+            "kind": "pipeline",
+            "num_devices": 4,
+            "interconnect": "nvlink",
+            "schedule": "round_robin",
+        },
+    },
     "sharded-serving": {
         "dataset": "covid19_england",
         "model": "tgcn",
@@ -92,8 +108,21 @@ PRESETS: Dict[str, Dict[str, Any]] = {
 }
 
 
+#: Python-style literals accepted next to their JSON spellings.  Without this
+#: mapping ``--set serving.enable_reuse=False`` would fall through the JSON
+#: parse and silently reach a bool field as the *truthy* string ``"False"``.
+_PYTHON_LITERALS: Dict[str, Any] = {"True": True, "False": False, "None": None}
+
+
 def _parse_value(raw: str) -> Any:
-    """Interpret an override value: JSON when it parses, bare string otherwise."""
+    """Interpret an override value: JSON when it parses, bare string otherwise.
+
+    Accepts JSON literals (``4``, ``-0.5``, ``1e-3``, ``true``, ``null``,
+    ``"quoted"``, ``[2, 4]``) plus the Python spellings ``True``/``False``/
+    ``None``; anything unparsable stays a plain string (``nvlink``).
+    """
+    if raw in _PYTHON_LITERALS:
+        return _PYTHON_LITERALS[raw]
     try:
         return json.loads(raw)
     except json.JSONDecodeError:

@@ -90,7 +90,7 @@ class RunReport:
             f"method={self.spec.method} device={self.spec.device.kind}"
             + (
                 f" x{self.spec.device.num_devices} ({self.spec.device.interconnect})"
-                if self.spec.device.kind == "group"
+                if self.spec.device.kind != "single"
                 else ""
             )
         ]

@@ -9,7 +9,8 @@ Four registries cover the whole construction space:
   existing model/dataset name spaces;
 - :data:`DEVICE_REGISTRY` maps a device topology kind to the builder that
   wires a trainer for it (``single`` → the method's own trainer class,
-  ``group`` → :class:`~repro.core.distributed_trainer.DistributedTrainer`);
+  ``group`` → :class:`~repro.core.distributed_trainer.DistributedTrainer`,
+  ``pipeline`` → :class:`~repro.core.pipeline_trainer.PipelineTrainer`);
 - :data:`SERVING_REGISTRY` maps a serving topology kind to the builder that
   wires the online engine (``local`` → one
   :class:`~repro.serving.scheduler.ServingScheduler`, ``sharded`` →
@@ -65,6 +66,21 @@ def _build_group_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrainerBase:
     )
 
 
+def _build_pipeline_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrainerBase:
+    from repro.core.pipeline_trainer import PipelineConfig, PipelineTrainer
+
+    return PipelineTrainer(
+        graph,
+        spec.trainer_config(),
+        pipad_config=spec.pipad_config(),
+        pipe_config=PipelineConfig(
+            num_devices=spec.device.num_devices,
+            interconnect=spec.device.interconnect,
+            schedule=spec.device.schedule,
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class DeviceKind:
     """One device topology the engine can resolve a spec onto."""
@@ -84,6 +100,11 @@ DEVICE_REGISTRY: Dict[str, DeviceKind] = {
         "group",
         "K-device group with ring collectives (DistributedTrainer)",
         _build_group_trainer,
+    ),
+    "pipeline": DeviceKind(
+        "pipeline",
+        "K-stage frame pipeline with p2p state handoff (PipelineTrainer)",
+        _build_pipeline_trainer,
     ),
 }
 

@@ -22,14 +22,14 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar, Union
 
 from repro.core.config import PiPADConfig
-from repro.graph.partition import PARTITION_MODES
+from repro.graph.partition import PARTITION_MODES, SCHEDULE_MODES
 from repro.utils.validation import check_positive
 
 #: peer-link models understood by :class:`~repro.gpu.interconnect.Interconnect`
 INTERCONNECT_KINDS: Tuple[str, ...] = ("nvlink", "pcie")
 
 #: device topologies understood by the engine (keys of ``DEVICE_REGISTRY``)
-DEVICE_KINDS: Tuple[str, ...] = ("single", "group")
+DEVICE_KINDS: Tuple[str, ...] = ("single", "group", "pipeline")
 
 #: serving topologies understood by the engine (keys of ``SERVING_REGISTRY``)
 SERVING_KINDS: Tuple[str, ...] = ("local", "sharded")
@@ -104,16 +104,21 @@ class _SpecBase:
 
 @dataclass(frozen=True)
 class DeviceSpec(_SpecBase):
-    """Device topology: one GPU, or a K-device group with an interconnect."""
+    """Device topology: one GPU, a sharded group, or a frame pipeline."""
 
-    #: ``"single"`` (one simulated GPU) or ``"group"`` (sharded device group)
+    #: ``"single"`` (one simulated GPU), ``"group"`` (node-sharded device
+    #: group) or ``"pipeline"`` (snapshot groups pipelined across devices)
     kind: str = "single"
-    #: number of devices in the group (must be 1 for ``"single"``)
+    #: number of devices in the group/pipeline (must be 1 for ``"single"``)
     num_devices: int = 1
     #: peer-link model between group devices (``"nvlink"`` or ``"pcie"``)
     interconnect: str = "nvlink"
-    #: node-assignment strategy of the partitioner (``"edges"`` or ``"nodes"``)
+    #: node-assignment strategy of the partitioner (``"edges"`` or ``"nodes"``;
+    #: only consulted by kind ``"group"``)
     partition_mode: str = "edges"
+    #: stage-assignment strategy of the frame partitioner (``"round_robin"``
+    #: or ``"blocked"``; only consulted by kind ``"pipeline"``)
+    schedule: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.kind not in DEVICE_KINDS:
@@ -125,10 +130,10 @@ class DeviceSpec(_SpecBase):
         if self.kind == "single" and self.num_devices != 1:
             raise ValueError(
                 f"device kind 'single' requires num_devices=1, got {self.num_devices}; "
-                "use kind='group' for multi-device runs"
+                "use kind='group' or kind='pipeline' for multi-device runs"
             )
-        # kind 'group' allows num_devices=1: a one-device DeviceGroup is the
-        # reference run of scaling sweeps (same trainer class, no collectives).
+        # 'group' and 'pipeline' allow num_devices=1: a one-device run is the
+        # reference of scaling sweeps (same trainer class, no collectives).
         if self.interconnect not in INTERCONNECT_KINDS:
             raise ValueError(
                 f"unknown interconnect {self.interconnect!r}; valid kinds: "
@@ -138,6 +143,11 @@ class DeviceSpec(_SpecBase):
             raise ValueError(
                 f"unknown partition_mode {self.partition_mode!r}; valid modes: "
                 f"{_known_choices(tuple(PARTITION_MODES))}"
+            )
+        if self.schedule not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; valid schedules: "
+                f"{_known_choices(tuple(SCHEDULE_MODES))}"
             )
 
 
@@ -282,10 +292,11 @@ class RunSpec(_SpecBase):
                 f"unknown PiPADConfig override(s) {sorted(unknown)}; "
                 f"valid keys: {_known_choices(PIPAD_FIELDS)}"
             )
-        if self.device.kind == "group" and method_key != "pipad":
+        if self.device.kind != "single" and method_key != "pipad":
             raise ValueError(
-                f"device kind 'group' is only supported by method 'pipad' "
-                f"(DistributedTrainer), got method {self.method!r}"
+                f"device kind {self.device.kind!r} is only supported by method "
+                f"'pipad' (DistributedTrainer/PipelineTrainer), got method "
+                f"{self.method!r}"
             )
         # Frozen dataclass: normalize names via object.__setattr__ so the
         # engine and registries can rely on canonical keys downstream.

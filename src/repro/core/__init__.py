@@ -14,6 +14,7 @@ from repro.core.tuner import (
 )
 from repro.core.trainer import PiPADTrainer
 from repro.core.distributed_trainer import DistributedConfig, DistributedTrainer
+from repro.core.pipeline_trainer import PipelineConfig, PipelineTrainer
 
 __all__ = [
     "PiPADConfig",
@@ -30,4 +31,6 @@ __all__ = [
     "PiPADTrainer",
     "DistributedConfig",
     "DistributedTrainer",
+    "PipelineConfig",
+    "PipelineTrainer",
 ]

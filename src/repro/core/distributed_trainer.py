@@ -49,10 +49,54 @@ from repro.utils.validation import check_positive
 _MIN_FRACTION = 1e-9
 
 #: ``TrainingResult.extras`` keys itemizing the collective times of a
-#: distributed run (written by :meth:`DistributedTrainer._extra_metrics` from
-#: ``DeviceGroup.collective_seconds``; consumed by the scaling experiment and
-#: the :class:`~repro.api.engine.RunReport` collective breakdown)
-COLLECTIVE_KEYS = ("halo_exchange_seconds", "all_gather_seconds", "all_reduce_seconds")
+#: distributed run (written by the distributed/pipeline trainers'
+#: ``_extra_metrics`` from ``DeviceGroup.collective_seconds``; consumed by the
+#: scaling experiments and the :class:`~repro.api.engine.RunReport` collective
+#: breakdown)
+COLLECTIVE_KEYS = (
+    "halo_exchange_seconds",
+    "all_gather_seconds",
+    "all_reduce_seconds",
+    "peer_transfer_seconds",
+)
+
+
+def aggregate_group_result(result: TrainingResult, group: DeviceGroup) -> TrainingResult:
+    """Re-aggregate a :class:`TrainingResult` across a whole device group.
+
+    The base trainer fills the result from the lead device, which in a
+    multi-device run only carries its share of the work; every extensive
+    counter is therefore re-computed over the group so the record describes
+    the run, not one device.  Shared by :class:`DistributedTrainer` and
+    :class:`~repro.core.pipeline_trainer.PipelineTrainer`.
+    """
+    result.simulated_seconds = group.makespan()
+    result.breakdown = group.breakdown()
+    if group.num_devices > 1:
+        category: Dict[str, float] = {}
+        for device in group:
+            for cat, seconds in device.category_seconds().items():
+                category[cat] = category.get(cat, 0.0) + seconds
+        result.category_seconds = category
+        result.kernel_launches = sum(
+            stats.launches
+            for device in group
+            for stats in device.kernel_stats.values()
+        )
+        result.peak_memory_bytes = max(d.peak_bytes for d in group)
+        result.memory_requests = sum(
+            d.memory_statistics()["requests"] for d in group
+        )
+        result.memory_transactions = sum(
+            d.memory_statistics()["transactions"] for d in group
+        )
+        result.gpu_utilization = float(
+            np.mean([d.gpu_utilization() for d in group])
+        )
+        result.sm_utilization = float(
+            np.mean([d.sm_utilization() for d in group])
+        )
+    return result
 
 
 @dataclass(frozen=True)
@@ -114,6 +158,13 @@ class DistributedTrainer(PiPADTrainer):
         self._gradient_bytes = float(
             sum(p.data.nbytes for p in self.model.parameters())
         )
+        #: bytes per feature element (halo rows ship in the dataset's dtype)
+        self._feature_itemsize = float(graph.snapshots[0].features.dtype.itemsize)
+        #: bytes per state element (the hidden state carries the model's
+        #: parameter dtype)
+        self._state_itemsize = float(
+            self.model.parameters()[0].data.dtype.itemsize
+        )
         #: per-device ops the next partition's compute must wait for
         self._shard_ready: List[List[TimelineOp]] = [[] for _ in devices]
         self._halo_bytes_total = 0.0
@@ -131,13 +182,16 @@ class DistributedTrainer(PiPADTrainer):
 
     def _halo_feature_bytes(self, device: int) -> float:
         return float(
-            self._halo_nodes[device] * self.graph.feature_dim * 4.0 * self.scale
+            self._halo_nodes[device]
+            * self.graph.feature_dim
+            * self._feature_itemsize
+            * self.scale
         )
 
     def _shard_state_bytes(self, device: int) -> float:
         """Hidden-state rows a device contributes to the post-partition sync."""
         nodes = float(self.boundaries[device + 1] - self.boundaries[device])
-        return nodes * self._hidden_dim * 4.0 * self.scale
+        return nodes * self._hidden_dim * self._state_itemsize * self.scale
 
     def _measured_node_weight(self) -> float:
         """Dense per-node work in units of per-edge aggregation work.
@@ -302,33 +356,7 @@ class DistributedTrainer(PiPADTrainer):
         are shard-local).
         """
         result = super().train(epochs)
-        result.simulated_seconds = self.group.makespan()
-        result.breakdown = self.group.breakdown()
-        if self.group.num_devices > 1:
-            category: Dict[str, float] = {}
-            for device in self.group:
-                for cat, seconds in device.category_seconds().items():
-                    category[cat] = category.get(cat, 0.0) + seconds
-            result.category_seconds = category
-            result.kernel_launches = sum(
-                stats.launches
-                for device in self.group
-                for stats in device.kernel_stats.values()
-            )
-            result.peak_memory_bytes = max(d.peak_bytes for d in self.group)
-            result.memory_requests = sum(
-                d.memory_statistics()["requests"] for d in self.group
-            )
-            result.memory_transactions = sum(
-                d.memory_statistics()["transactions"] for d in self.group
-            )
-            result.gpu_utilization = float(
-                np.mean([d.gpu_utilization() for d in self.group])
-            )
-            result.sm_utilization = float(
-                np.mean([d.sm_utilization() for d in self.group])
-            )
-        return result
+        return aggregate_group_result(result, self.group)
 
     def _extra_metrics(self) -> Dict[str, float]:
         extras = super()._extra_metrics()

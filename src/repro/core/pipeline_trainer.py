@@ -1,0 +1,373 @@
+"""Frame-pipeline parallelism: snapshot groups sharded across devices.
+
+:class:`PipelineTrainer` is the multi-device analogue of the paper's Fig. 8
+pipeline.  Where :class:`~repro.core.distributed_trainer.DistributedTrainer`
+shards the *node set* (data parallelism), the pipeline trainer shards the
+*frame*: a :class:`~repro.graph.partition.FramePartitioner` assigns each
+snapshot group of a frame to one of ``K`` devices (a pipeline *stage*), and
+the stages execute a 1F1B-style schedule —
+
+- every stage prefetches its own groups' slices on its own PCIe link, so
+  device ``d+1``'s transfer for group ``g+1`` hides behind device ``d``'s
+  compute of group ``g`` (the cross-device generalization of partition-level
+  transfer/compute overlap);
+- the *aggregation* kernels of a group depend only on that group's
+  transferred slices (a first-layer aggregation is a function of topology and
+  raw features, the same observation inter-frame reuse is built on), so they
+  run as soon as the data lands — in parallel across stages;
+- the *dense* kernels (update GEMM, recurrent cell) consume the previous
+  group's hidden state, which arrives as a point-to-point
+  :meth:`~repro.gpu.device_group.DeviceGroup.send` on the ``peer_link``
+  engine — this state chain is the pipeline's serial dependency, and the time
+  a stage stalls on it beyond its own local readiness is accounted as
+  **bubble time**;
+- the backward pass runs the chain in reverse (state gradients hop stage to
+  stage), aggregation backward drains off-chain per stage, and a ring
+  ``all_reduce`` combines the replicas' weight gradients before the
+  optimizer step, exactly as in the data-parallel trainer.
+
+Numerics are untouched: the model trains on the full graph exactly as the
+single-GPU PiPAD trainer does (losses are bit-identical — the preparing
+epochs, tuner decisions and every forward/backward run the identical code
+path); the device group only accounts for *when* the same work would finish
+under the pipelined schedule.  The overlap-reuse cache is the existing
+:class:`~repro.core.reuse.ReuseManager`: each stage's transfer sizing
+consults the same cache, so reuse keeps cutting per-stage transfer volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import TrainerConfig
+from repro.baselines.results import TrainingResult
+from repro.core.config import PiPADConfig
+from repro.core.distributed_trainer import aggregate_group_result
+from repro.core.trainer import PiPADTrainer
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.device_group import DeviceGroup
+from repro.gpu.kernel_cost import CATEGORY_AGGREGATION, KernelCost
+from repro.gpu.timeline import RESOURCE_COMPUTE, TimelineOp
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.frame import Frame
+from repro.graph.partition import SCHEDULE_MODES, FramePartitioner
+from repro.graph.snapshot import GraphSnapshot
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the frame-pipeline execution model."""
+
+    #: number of pipeline stages (devices) the frame is sharded across
+    num_devices: int = 2
+    #: peer-link model between stages (``"nvlink"`` or ``"pcie"``)
+    interconnect: str = "nvlink"
+    #: stage-assignment strategy of the :class:`FramePartitioner`
+    schedule: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        check_positive("num_devices", self.num_devices)
+        if self.schedule not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; expected one of {SCHEDULE_MODES}"
+            )
+
+
+class PipelineTrainer(PiPADTrainer):
+    """PiPAD training with snapshot groups pipelined across a device group."""
+
+    method_name = "PiPAD-PP"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        config: Optional[TrainerConfig] = None,
+        pipad_config: Optional[PiPADConfig] = None,
+        pipe_config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.pipe = pipe_config or PipelineConfig()
+        super().__init__(graph, config, pipad_config)
+        devices: List[SimulatedGPU] = [self.device]
+        devices += [
+            SimulatedGPU(
+                self.config.gpu,
+                self.config.pcie,
+                self.config.host,
+                use_cuda_graph=self.use_cuda_graph,
+            )
+            for _ in range(self.pipe.num_devices - 1)
+        ]
+        self.group = DeviceGroup(
+            devices=devices, interconnect_kind=self.pipe.interconnect
+        )
+        self.frame_partitioner = FramePartitioner(
+            self.pipe.num_devices, schedule=self.pipe.schedule
+        )
+        self._gradient_bytes = float(
+            sum(p.data.nbytes for p in self.model.parameters())
+        )
+        #: bytes per state element (the hidden state is produced by the model,
+        #: so it carries the parameter dtype)
+        self._state_itemsize = float(
+            self.model.parameters()[0].data.dtype.itemsize
+        )
+        #: stage of each group in the current frame (set per frame)
+        self._assignment = np.zeros(0, dtype=np.int64)
+        self._group_index = 0
+        #: op producing the latest recurrent state, and the stage holding it
+        self._state_op: Optional[TimelineOp] = None
+        self._state_device = 0
+        #: per-device gradient-all-reduce ops gating the next frame's kernels
+        self._frame_ready: List[List[TimelineOp]] = [[] for _ in devices]
+        self._bubble_seconds = 0.0
+
+    # ------------------------------------------------------------------ sizing
+    def _stage_state_bytes(self) -> float:
+        """Bytes handed between adjacent pipeline stages.
+
+        Recurrent models carry the per-node hidden state; weight-evolving
+        models (EvolveGCN) instead ship the evolved weight matrices, which
+        are node-count independent.  The backward chain moves the matching
+        gradients, so the same size applies in both directions.
+        """
+        if self.model.evolves_weights:
+            return self._gradient_bytes
+        return float(
+            self.graph.num_nodes * self._hidden_dim * self._state_itemsize * self.scale
+        )
+
+    def _split_costs(
+        self, costs: Sequence[KernelCost]
+    ) -> "tuple[List[KernelCost], List[KernelCost]]":
+        """(state-independent aggregation costs, state-dependent dense costs)."""
+        aggregation = [c for c in costs if c.category == CATEGORY_AGGREGATION]
+        dense = [c for c in costs if c.category != CATEGORY_AGGREGATION]
+        return aggregation, dense
+
+    def _pipelined(self) -> bool:
+        return not self._preparing and self.group.num_devices > 1
+
+    # ------------------------------------------------------------------ frame hooks
+    def _before_frame(self, frame: Frame, epoch: int) -> None:
+        super()._before_frame(frame, epoch)
+        if not self._pipelined():
+            return
+        num_groups = len(self._make_partitions(frame))
+        self._assignment = self.frame_partitioner.assign(num_groups)
+        self._group_index = 0
+        # Each frame re-initializes the recurrent state; the chain restarts.
+        self._state_op = None
+        self._state_device = 0
+
+    def _transfer_partition(
+        self,
+        snapshots: Sequence[GraphSnapshot],
+        depends_on: Optional[Sequence[TimelineOp]],
+    ) -> List[TimelineOp]:
+        if not self._pipelined():
+            return super()._transfer_partition(snapshots, depends_on)
+        device = self.group.devices[int(self._assignment[self._group_index])]
+        host_op = device.host_op(
+            self._host_prep_seconds(snapshots), label="host_prep", stream="cpu"
+        )
+        nbytes = self._partition_transfer_bytes(snapshots)
+        stream = "copy" if self.pipad.enable_pipeline else "default"
+        transfer = device.transfer_h2d(
+            nbytes,
+            label=f"h2d_p{snapshots[0].timestep}",
+            stream=stream,
+            pinned=self.pipad.enable_pipeline,
+            depends_on=[host_op] if depends_on is None else [host_op, *depends_on],
+        )
+        return [transfer]
+
+    def _launch_partition_kernels(
+        self,
+        costs: Sequence[KernelCost],
+        snapshots: Sequence[GraphSnapshot],
+        transfer_ops: Sequence[TimelineOp],
+        last_compute: Sequence[TimelineOp],
+    ) -> List[TimelineOp]:
+        if not self._pipelined():
+            return super()._launch_partition_kernels(
+                costs, snapshots, transfer_ops, last_compute
+            )
+        stage = int(self._assignment[self._group_index])
+        device = self.group.devices[stage]
+        stream = self._compute_stream()
+        timestep = snapshots[0].timestep
+        aggregation, dense = self._split_costs(costs)
+        device.host_op(
+            self._dispatch_seconds(sum(c.launches for c in costs)),
+            label="dispatch",
+            stream=self._dispatch_stream(),
+        )
+        frame_ready = self._frame_ready[stage]
+        agg_ops = (
+            device.launch_kernels(
+                aggregation,
+                label=f"fwd_agg_t{timestep}",
+                stream=stream,
+                depends_on=list(transfer_ops) + frame_ready,
+            )
+            if aggregation
+            else []
+        )
+        # The state chain: the previous group's dense output feeds this
+        # group's dense kernels — across stages it travels as a p2p transfer.
+        state_deps: List[TimelineOp] = []
+        if self._state_op is not None:
+            if self._state_device != stage:
+                _, recv_op = self.group.send(
+                    self._state_device,
+                    stage,
+                    self._stage_state_bytes(),
+                    label=f"state_t{timestep}",
+                    depends_on=[self._state_op],
+                )
+                state_deps = [recv_op]
+            else:
+                state_deps = [self._state_op]
+        local_deps = (agg_ops[-1:] if agg_ops else list(transfer_ops)) + frame_ready
+        ops = self._launch_chained(
+            device, dense, f"fwd_t{timestep}", stream, local_deps, state_deps
+        )
+        last = ops or agg_ops
+        if last:
+            self._state_op = last[-1]
+            self._state_device = stage
+        self._group_index += 1
+        return last[-1:]
+
+    def _launch_chained(
+        self,
+        device: SimulatedGPU,
+        costs: List[KernelCost],
+        label: str,
+        stream: str,
+        local_deps: List[TimelineOp],
+        chain_deps: List[TimelineOp],
+    ) -> List[TimelineOp]:
+        """Launch state-chained kernels and account their pipeline bubble.
+
+        The bubble is the stall attributable to the cross-stage dependency
+        alone: how much later the first kernel starts than it would have from
+        purely local readiness (own transfers/aggregation, compute engine and
+        stream order).
+        """
+        if not costs:
+            return []
+        timeline = device.timeline
+        local_ready = max(
+            [
+                timeline.resource_free_at(RESOURCE_COMPUTE),
+                timeline.stream_free_at(stream),
+                *(op.end for op in local_deps),
+            ]
+        )
+        ops = device.launch_kernels(
+            costs,
+            label=label,
+            stream=stream,
+            depends_on=local_deps + chain_deps,
+        )
+        self._bubble_seconds += max(0.0, ops[0].start - local_ready)
+        return ops
+
+    def _launch_backward(
+        self, costs: Sequence[KernelCost], last_compute: Sequence[TimelineOp]
+    ) -> List[TimelineOp]:
+        if not self._pipelined():
+            return super()._launch_backward(costs, last_compute)
+        num_groups = len(self._assignment)
+        share = 1.0 / num_groups
+        # ``scaled`` divides the extensive work; the launches are genuinely
+        # split across groups too (unlike the data-parallel trainer, where
+        # every replica issues the full kernel sequence on its shard).
+        shares = [
+            replace(c.scaled(share), launches=max(1, round(c.launches * share)))
+            for c in costs
+        ]
+        aggregation, dense = self._split_costs(shares)
+        stream = self._compute_stream()
+        per_device_last: List[List[TimelineOp]] = [
+            list(ready) for ready in self._frame_ready
+        ]
+        chain_op: Optional[TimelineOp] = None
+        chain_device = 0
+        # Backward runs the stage chain in reverse: the state gradient hops
+        # from the stage of group g to the stage of group g-1.
+        for index in range(num_groups - 1, -1, -1):
+            stage = int(self._assignment[index])
+            device = self.group.devices[stage]
+            device.host_op(
+                self._dispatch_seconds(
+                    sum(c.launches for c in aggregation + dense)
+                ),
+                label="dispatch_bwd",
+                stream=self._dispatch_stream(),
+            )
+            if chain_op is None:
+                chain_deps = list(last_compute)
+            elif chain_device != stage:
+                _, recv_op = self.group.send(
+                    chain_device,
+                    stage,
+                    self._stage_state_bytes(),
+                    label=f"grad_p{index}",
+                    depends_on=[chain_op],
+                )
+                chain_deps = [recv_op]
+            else:
+                chain_deps = [chain_op]
+            dense_ops = self._launch_chained(
+                device, dense, "backward", stream, per_device_last[stage], chain_deps
+            )
+            # Aggregation backward needs only this group's upstream gradient;
+            # it drains off-chain while the chain continues on other stages.
+            agg_ops = (
+                device.launch_kernels(
+                    aggregation,
+                    label="backward_agg",
+                    stream=stream,
+                    depends_on=dense_ops[-1:] or chain_deps,
+                )
+                if aggregation
+                else []
+            )
+            if dense_ops:
+                chain_op, chain_device = dense_ops[-1], stage
+            tail = agg_ops or dense_ops
+            if tail:
+                per_device_last[stage] = tail[-1:]
+        # Each stage holds the weight gradients of its own groups only;
+        # combine the replicas before the optimizer step.
+        reduce_ops = self.group.all_reduce(
+            self._gradient_bytes,
+            label="grad_all_reduce",
+            depends_on=per_device_last,
+        )
+        self._frame_ready = [[op] for op in reduce_ops]
+        return [reduce_ops[0]]
+
+    # ------------------------------------------------------------------ reporting
+    def train(self, epochs: Optional[int] = None) -> TrainingResult:
+        """Train and report group-wide quantities (see
+        :func:`~repro.core.distributed_trainer.aggregate_group_result`)."""
+        result = super().train(epochs)
+        return aggregate_group_result(result, self.group)
+
+    def _extra_metrics(self) -> Dict[str, float]:
+        extras = super()._extra_metrics()
+        extras["num_devices"] = float(self.group.num_devices)
+        extras["pipeline_bubble_seconds"] = self._bubble_seconds
+        for kind, seconds in self.group.collective_seconds.items():
+            extras[f"{kind}_seconds"] = seconds
+        device_seconds = self.group.device_seconds()
+        extras["device_seconds_max"] = float(max(device_seconds))
+        extras["device_seconds_min"] = float(min(device_seconds))
+        return extras

@@ -13,17 +13,26 @@ lives next to its single-device counterparts so each layer stays cohesive:
 - :class:`~repro.core.distributed_trainer.DistributedTrainer`
   (``repro.core``) runs data-parallel PiPAD training over the shards with
   halo exchanges, state all-gathers and per-frame gradient all-reduce;
+- :class:`~repro.core.pipeline_trainer.PipelineTrainer` (``repro.core``) is
+  the frame-pipeline alternative: a
+  :class:`~repro.graph.partition.FramePartitioner` shards the *snapshot
+  groups* instead of the node set, and the recurrent state hops between
+  stages over point-to-point ``DeviceGroup.send`` transfers;
 - :class:`ShardedServingEngine` (here) is the sharded entry point for the
   streaming serving scheduler: requests fan out across per-device serving
   replicas while graph deltas broadcast to every shard.
 """
 
 from repro.core.distributed_trainer import DistributedConfig, DistributedTrainer
+from repro.core.pipeline_trainer import PipelineConfig, PipelineTrainer
 from repro.distributed.serving import ShardedServingEngine, build_sharded_serving_engine
 from repro.gpu.device_group import COMM_STREAM, RESOURCE_PEER_LINK, DeviceGroup
 from repro.gpu.interconnect import NVLINK, PCIE_PEER, Interconnect, LinkSpec
 from repro.graph.partition import (
     PARTITION_MODES,
+    SCHEDULE_MODES,
+    FramePartitioner,
+    FrameStage,
     GraphPartitioner,
     ShardGroup,
     SnapshotShard,
@@ -34,13 +43,18 @@ __all__ = [
     "DeviceGroup",
     "DistributedConfig",
     "DistributedTrainer",
+    "FramePartitioner",
+    "FrameStage",
     "GraphPartitioner",
     "Interconnect",
     "LinkSpec",
     "NVLINK",
     "PARTITION_MODES",
     "PCIE_PEER",
+    "PipelineConfig",
+    "PipelineTrainer",
     "RESOURCE_PEER_LINK",
+    "SCHEDULE_MODES",
     "ShardGroup",
     "ShardedServingEngine",
     "SnapshotShard",

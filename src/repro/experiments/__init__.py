@@ -15,6 +15,7 @@ from repro.experiments import (
     fig12_sliced_csr,
     format_space,
     scaling_multi_gpu,
+    scaling_pipeline,
     table1_datasets,
     table2_gpu_utilization,
 )
@@ -34,6 +35,7 @@ EXPERIMENTS: Dict[str, object] = {
     "space_overhead": format_space,
     "ablations": ablations,
     "scaling": scaling_multi_gpu,
+    "scaling_pipeline": scaling_pipeline,
 }
 
 

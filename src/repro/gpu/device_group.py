@@ -11,12 +11,15 @@ Collectives (``all_reduce``, ``all_gather``, ``halo_exchange``) are
 bulk-synchronous: every participant starts at the same instant — the latest
 readiness over all devices' dependencies, communication engines and streams
 — and occupies its ``peer_link`` resource for the ring-cost duration from
-:class:`~repro.gpu.interconnect.Interconnect`.
+:class:`~repro.gpu.interconnect.Interconnect`.  Point-to-point ``send``
+transfers involve only their two endpoints and occupy both of their
+``peer_link`` engines — the primitive the frame-pipeline trainer hands
+recurrent state (and state gradients) between stages with.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.interconnect import Interconnect, LinkSpec
@@ -169,6 +172,68 @@ class DeviceGroup:
         heaviest = max(float(b) for b in bytes_per_device)
         seconds = self.interconnect.halo_exchange_seconds(heaviest)
         return self._collective("halo_exchange", label, seconds, heaviest, depends_on, not_before)
+
+    # ------------------------------------------------------------------ point to point
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        *,
+        label: str = "p2p",
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+        not_before: float = 0.0,
+    ) -> Tuple[TimelineOp, TimelineOp]:
+        """Point-to-point copy from ``src`` to ``dst`` over the peer link.
+
+        Returns the ``(send_op, recv_op)`` pair: one op on each endpoint's
+        timeline, covering the same interval and occupying both devices'
+        ``peer_link`` engines for the transfer duration (a busy link delays
+        collectives and further sends alike).  Dependents on the receiving
+        device should wait on ``recv_op`` — that is the cross-device edge the
+        pipeline trainer uses to hand the recurrent state to the next stage.
+
+        Unlike the collectives, ``depends_on`` is a plain op sequence (only
+        the two endpoints participate, so there is no per-device fan-out).
+        """
+        for name, device in (("src", src), ("dst", dst)):
+            if not 0 <= device < len(self.devices):
+                raise ValueError(
+                    f"{name} {device} out of range [0, {len(self.devices)})"
+                )
+        if src == dst:
+            raise ValueError(f"src and dst must differ, both are {src}")
+        seconds = self.interconnect.peer_seconds(nbytes, src, dst)
+        ready = max(0.0, not_before)
+        if depends_on:
+            ready = max(ready, max(op.end for op in depends_on))
+        for index in (src, dst):
+            timeline = self.devices[index].timeline
+            ready = max(
+                ready,
+                timeline.resource_free_at(RESOURCE_PEER_LINK),
+                timeline.stream_free_at(COMM_STREAM),
+            )
+        send_op, recv_op = (
+            self.devices[index].timeline.submit(
+                label=f"{label}_{suffix}",
+                kind="collective",
+                resource=RESOURCE_PEER_LINK,
+                duration=seconds,
+                stream=COMM_STREAM,
+                not_before=ready,
+                attrs={
+                    "collective": "peer_transfer",
+                    "bytes": float(nbytes),
+                    "peer": peer,
+                },
+            )
+            for index, suffix, peer in ((src, "send", dst), (dst, "recv", src))
+        )
+        self.collective_seconds["peer_transfer"] = (
+            self.collective_seconds.get("peer_transfer", 0.0) + seconds
+        )
+        return send_op, recv_op
 
     def barrier(
         self, *, label: str = "barrier", depends_on: PerDeviceDeps = None

@@ -25,6 +25,9 @@ from repro.graph.overlap import (
 )
 from repro.graph.partition import (
     PARTITION_MODES,
+    SCHEDULE_MODES,
+    FramePartitioner,
+    FrameStage,
     GraphPartitioner,
     ShardGroup,
     SnapshotShard,
@@ -66,6 +69,9 @@ __all__ = [
     "pairwise_overlap_rate",
     "refine_overlap",
     "PARTITION_MODES",
+    "SCHEDULE_MODES",
+    "FramePartitioner",
+    "FrameStage",
     "GraphPartitioner",
     "ShardGroup",
     "SnapshotShard",

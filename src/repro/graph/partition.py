@@ -17,7 +17,7 @@ decomposition — and the transfer savings it buys — applies per shard.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.utils.validation import check_positive
 
 #: supported node-assignment strategies
 PARTITION_MODES = ("nodes", "edges")
+
+#: supported stage-assignment strategies of :class:`FramePartitioner`
+SCHEDULE_MODES = ("round_robin", "blocked")
 
 
 @dataclass(frozen=True)
@@ -59,9 +62,17 @@ class SnapshotShard:
     def num_halo_nodes(self) -> int:
         return int(len(self.halo_nodes))
 
-    def halo_feature_bytes(self, feature_dim: int) -> float:
-        """Bytes of remote features this shard must receive before aggregating."""
-        return float(self.num_halo_nodes * feature_dim * 4)
+    def halo_feature_bytes(
+        self, feature_dim: int, dtype: Union[np.dtype, type, str] = np.float32
+    ) -> float:
+        """Bytes of remote features this shard must receive before aggregating.
+
+        ``dtype`` is the feature element type (default float32); callers with
+        float64 or half-precision features must pass their actual dtype or the
+        halo traffic is mis-sized.
+        """
+        itemsize = np.dtype(dtype).itemsize
+        return float(self.num_halo_nodes * feature_dim * itemsize)
 
 
 @dataclass(frozen=True)
@@ -176,6 +187,9 @@ class GraphPartitioner:
         for device in range(self.num_devices):
             start, stop = int(boundaries[device]), int(boundaries[device + 1])
             adjacency = _row_slice(snapshot.adjacency, start, stop)
+            # np.unique both sorts and deduplicates: a column referenced from
+            # several rows (or through parallel multi-edges) counts once toward
+            # halo traffic — its features are fetched once, not per edge.
             cols = np.unique(adjacency.indices)
             halo = cols[(cols < start) | (cols >= stop)]
             shards.append(
@@ -235,3 +249,82 @@ class GraphPartitioner:
             for shard in self.shard_snapshot(snapshot, boundaries):
                 totals[shard.device] += shard.num_halo_nodes
         return totals / max(1, len(snapshots))
+
+
+@dataclass(frozen=True)
+class FrameStage:
+    """One device's slice of a frame pipeline: the group indices it owns."""
+
+    device: int
+    groups: Tuple[int, ...]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+
+class FramePartitioner:
+    """Shards a frame's snapshot groups across ``K`` devices (pipeline stages).
+
+    The temporal analogue of :class:`GraphPartitioner`: instead of splitting
+    the *node set* (every device holds every snapshot group), the *frame* is
+    split — each device owns a subset of the frame's snapshot groups and runs
+    the full model on them, while the recurrent state flows between stages as
+    point-to-point transfers on the interconnect.  This is the multi-device
+    generalization of the paper's Fig. 8 pipeline: device ``d`` computes
+    group ``g`` while device ``d+1`` prefetches group ``g+1``'s slices.
+
+    Parameters
+    ----------
+    num_devices:
+        Number of pipeline stages (one per device).
+    schedule:
+        ``"round_robin"`` assigns group ``g`` to device ``g % K`` — adjacent
+        groups live on different devices, which maximizes transfer/compute
+        overlap (the 1F1B-style schedule).  ``"blocked"`` assigns contiguous
+        runs of groups per device, which minimizes the number of cross-device
+        state handoffs at the cost of less prefetch depth.
+    """
+
+    def __init__(self, num_devices: int, *, schedule: str = "round_robin") -> None:
+        check_positive("num_devices", num_devices)
+        if schedule not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; expected one of {SCHEDULE_MODES}"
+            )
+        self.num_devices = num_devices
+        self.schedule = schedule
+
+    # ------------------------------------------------------------------ assignment
+    def assign(self, num_groups: int) -> np.ndarray:
+        """Owning device per group index (length ``num_groups``)."""
+        check_positive("num_groups", num_groups)
+        groups = np.arange(num_groups, dtype=np.int64)
+        if self.schedule == "round_robin":
+            return groups % self.num_devices
+        # "blocked": contiguous chunks whose sizes differ by at most one.
+        return (groups * self.num_devices) // num_groups
+
+    def stages(self, num_groups: int) -> List[FrameStage]:
+        """Per-device view of :meth:`assign` (devices with no groups included)."""
+        assignment = self.assign(num_groups)
+        return [
+            FrameStage(
+                device=device,
+                groups=tuple(int(g) for g in np.flatnonzero(assignment == device)),
+            )
+            for device in range(self.num_devices)
+        ]
+
+    # ------------------------------------------------------------------ statistics
+    def group_fractions(self, num_groups: int) -> np.ndarray:
+        """Fraction of the frame's groups each device owns."""
+        assignment = self.assign(num_groups)
+        counts = np.bincount(assignment, minlength=self.num_devices)
+        return counts / float(num_groups)
+
+    def num_handoffs(self, num_groups: int) -> int:
+        """Cross-device state handoffs per frame (adjacent groups on
+        different devices — each one is a point-to-point transfer)."""
+        assignment = self.assign(num_groups)
+        return int(np.count_nonzero(assignment[1:] != assignment[:-1]))

@@ -10,7 +10,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.api.cli import PRESETS, _apply_overrides, load_spec, main
+from repro.api.cli import PRESETS, _apply_overrides, _parse_value, load_spec, main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -65,6 +65,86 @@ class TestSpecLoading:
     def test_shipped_spec_files_load(self):
         for path in sorted((REPO_ROOT / "specs").glob("*.json")):
             assert load_spec(str(path)).dataset
+
+    def test_pipeline_preset_resolves_pipeline_topology(self):
+        spec = load_spec("pipeline-4gpu")
+        assert spec.device.kind == "pipeline"
+        assert spec.device.num_devices == 4
+        assert spec.pipad["fixed_s_per"] == 2
+
+
+class TestSetCoercion:
+    """``--set`` value parsing: JSON plus Python literal spellings."""
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("4", 4),
+            ("-3", -3),
+            ("-0.5", -0.5),
+            ("1e-3", 1e-3),
+            ("true", True),
+            ("false", False),
+            ("True", True),
+            ("False", False),
+            ("null", None),
+            ("None", None),
+            ('"42"', "42"),
+            ('"true"', "true"),
+            ("nvlink", "nvlink"),
+            ("[2, 4]", [2, 4]),
+        ],
+    )
+    def test_parse_value(self, raw, expected):
+        value = _parse_value(raw)
+        assert value == expected
+        assert type(value) is type(expected)
+
+    def test_negative_number_reaches_spec_field(self):
+        spec = load_spec("quick", ["seed=-5", "lr=1e-4"])
+        assert spec.seed == -5
+        assert spec.lr == 1e-4
+
+    def test_python_bool_reaches_nested_bool_field(self):
+        """Regression: ``False`` used to fall through the JSON parse and land
+        in the bool field as the truthy string ``"False"``."""
+        spec = load_spec(
+            "sharded-serving",
+            ["serving.enable_reuse=False", "serving.enable_pipeline=true"],
+        )
+        assert spec.serving.enable_reuse is False
+        assert spec.serving.enable_pipeline is True
+
+    def test_quoted_value_stays_a_string(self):
+        spec = load_spec("quick", ['dataset="hepth"'])
+        assert spec.dataset == "hepth"
+
+    def test_dotted_keys_create_device_section(self):
+        """The quick preset has no device section; dotted overrides must
+        create it and coerce into a DeviceSpec."""
+        spec = load_spec(
+            "quick",
+            [
+                "device.kind=pipeline",
+                "device.num_devices=4",
+                "device.schedule=blocked",
+            ],
+        )
+        assert spec.device.kind == "pipeline"
+        assert spec.device.num_devices == 4
+        assert spec.device.schedule == "blocked"
+
+    def test_dotted_keys_reach_doubly_nested_sections(self):
+        spec = load_spec("sharded-serving", ["serving.trace.seed=99"])
+        assert spec.serving.trace.seed == 99
+
+    def test_value_with_equals_sign_splits_once(self):
+        data = _apply_overrides({}, ["note=a=b"])
+        assert data["note"] == "a=b"
+
+    def test_scalar_key_cannot_be_used_as_section(self):
+        with pytest.raises(ValueError, match="not a nested section"):
+            _apply_overrides({"epochs": 3}, ["epochs.inner=1"])
 
 
 class TestRun:

@@ -1,0 +1,57 @@
+"""The legacy construction shims must warn at the *caller's* line.
+
+``make_trainer``/``build_serving_engine`` are thin DeprecationWarning shims
+over the engine-internal paths; with the wrong ``stacklevel`` the warning
+would name the shim module itself, which is useless for finding the call
+site to migrate.  These tests pin the warning to this file.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.baselines import TrainerConfig, make_trainer
+from repro.nn import build_model
+from repro.serving import ServingConfig, build_serving_engine
+
+
+def _deprecations(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestShimStacklevel:
+    def test_make_trainer_warning_points_at_caller(self, small_graph):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            make_trainer(
+                "pygt", small_graph, TrainerConfig(model="tgcn", frame_size=4)
+            )
+        (warning,) = _deprecations(record)
+        assert warning.filename == __file__
+        assert "repro.api.Engine" in str(warning.message)
+
+    def test_build_serving_engine_warning_points_at_caller(self, small_graph):
+        model = build_model("tgcn", small_graph.feature_dim, 8)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            build_serving_engine(small_graph, model, ServingConfig())
+        (warning,) = _deprecations(record)
+        assert warning.filename == __file__
+        assert "repro.api.Engine" in str(warning.message)
+
+    def test_internal_paths_do_not_warn(self, small_graph):
+        """The engine's own construction route must stay warning-free."""
+        from repro.api import Engine, RunSpec
+
+        spec = RunSpec(
+            dataset="covid19_england",
+            model="tgcn",
+            method="pygt",
+            num_snapshots=8,
+            frame_size=4,
+            epochs=1,
+        )
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            _ = Engine.from_spec(spec).trainer
+        assert not _deprecations(record)

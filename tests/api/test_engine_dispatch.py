@@ -17,7 +17,14 @@ from repro.baselines import (
     TrainerConfig,
     make_trainer,
 )
-from repro.core import DistributedConfig, DistributedTrainer, PiPADConfig, PiPADTrainer
+from repro.core import (
+    DistributedConfig,
+    DistributedTrainer,
+    PiPADConfig,
+    PiPADTrainer,
+    PipelineConfig,
+    PipelineTrainer,
+)
 from repro.core.distributed_trainer import DistributedTrainer as CoreDistributedTrainer
 from repro.distributed import ShardedServingEngine
 from repro.graph import load_dataset
@@ -64,6 +71,27 @@ class TestTrainerDispatch:
         assert trainer.dist.interconnect == "pcie"
         assert trainer.dist.partition_mode == "nodes"
         assert len(trainer.group.devices) == 3
+
+    def test_pipeline_device_resolves_pipeline_trainer(self):
+        spec = RunSpec(
+            method="pipad", device=DeviceSpec(kind="pipeline", num_devices=2), **_QUICK
+        )
+        engine = Engine.from_spec(spec)
+        assert type(engine.trainer) is PipelineTrainer
+        assert engine.trainer.pipe.num_devices == 2
+
+    def test_pipeline_device_settings_reach_trainer(self):
+        spec = RunSpec(
+            method="pipad",
+            device=DeviceSpec(
+                kind="pipeline", num_devices=4, interconnect="pcie", schedule="blocked"
+            ),
+            **_QUICK,
+        )
+        trainer = Engine.from_spec(spec).trainer
+        assert trainer.pipe.interconnect == "pcie"
+        assert trainer.pipe.schedule == "blocked"
+        assert len(trainer.group.devices) == 4
 
 
 class TestServingDispatch:
@@ -142,6 +170,22 @@ class TestParityWithOldEntryPoints:
         assert new.loss_curve() == old.loss_curve()
         assert new.simulated_seconds == old.simulated_seconds
 
+    @pytest.mark.parametrize("model", ["tgcn", "evolvegcn", "mpnn_lstm"])
+    def test_pipeline_losses_bit_identical_to_single(self, model):
+        """Acceptance criterion: ``device.kind="pipeline"`` trains every model
+        bit-identically in loss to the ``single`` topology."""
+        quick = {**_QUICK, "model": model}
+        single = Engine.from_spec(RunSpec(method="pipad", **quick)).train()
+        pipelined = Engine.from_spec(
+            RunSpec(
+                method="pipad",
+                device=DeviceSpec(kind="pipeline", num_devices=3),
+                **quick,
+            )
+        ).train()
+        assert pipelined.loss_curve() == single.loss_curve()
+        assert pipelined.final_loss == single.final_loss
+
     def test_serving_report_matches_old_builder(self):
         spec = RunSpec(
             method="pipad",
@@ -176,8 +220,8 @@ class TestParityWithOldEntryPoints:
 
 
 class TestShippedSpecs:
-    """The four specs/ JSONs all execute through Engine.from_spec and agree
-    with the pre-refactor entry points."""
+    """The specs/ JSONs all execute through Engine.from_spec and agree
+    with the hand-wired entry points."""
 
     def test_pipad_single_gpu_spec(self):
         report = Engine.from_spec(SPEC_DIR / "train_pipad_single_gpu.json").run()
@@ -214,6 +258,26 @@ class TestShippedSpecs:
         collectives = report.collective_breakdown()
         assert collectives["all_reduce_seconds"] > 0
         assert collectives["halo_exchange_seconds"] > 0
+
+    def test_pipeline_4gpu_spec(self):
+        report = Engine.from_spec(SPEC_DIR / "train_pipeline_4gpu.json").run()
+        training = report.training
+        graph = load_dataset("flickr", seed=0, num_snapshots=12)
+        old = PipelineTrainer(
+            graph,
+            TrainerConfig(model="evolvegcn", frame_size=8, epochs=3, cost_scale=5000.0),
+            PiPADConfig(fixed_s_per=2),
+            PipelineConfig(num_devices=4, interconnect="nvlink"),
+        ).train()
+        assert training.final_loss == old.final_loss
+        assert training.loss_curve() == old.loss_curve()
+        assert training.simulated_seconds == old.simulated_seconds
+        # Pipeline runs itemize the state handoffs and the gradient
+        # all-reduce in the normalized report, plus the bubble in extras.
+        collectives = report.collective_breakdown()
+        assert collectives["peer_transfer_seconds"] > 0
+        assert collectives["all_reduce_seconds"] > 0
+        assert training.extras["pipeline_bubble_seconds"] > 0
 
     def test_sharded_serving_spec(self):
         engine = Engine.from_spec(SPEC_DIR / "serve_sharded.json")

@@ -113,6 +113,29 @@ class TestValidation:
                 device=DeviceSpec(kind="group", num_devices=2),
             )
 
+    def test_pipeline_device_requires_pipad(self):
+        with pytest.raises(ValueError, match="only supported by method 'pipad'"):
+            RunSpec(
+                dataset="flickr",
+                method="pygt-g",
+                device=DeviceSpec(kind="pipeline", num_devices=2),
+            )
+
+    def test_pipeline_device_round_trips(self):
+        spec = RunSpec(
+            dataset="flickr",
+            device=DeviceSpec(
+                kind="pipeline", num_devices=4, interconnect="pcie", schedule="blocked"
+            ),
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.device.schedule == "blocked"
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            DeviceSpec(kind="pipeline", num_devices=2, schedule="zigzag")
+
     def test_single_device_rejects_multiple_devices(self):
         with pytest.raises(ValueError, match="requires num_devices=1"):
             DeviceSpec(kind="single", num_devices=4)

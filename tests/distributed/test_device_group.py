@@ -159,3 +159,59 @@ class TestDeviceGroup:
     def test_mismatched_deps_rejected(self, device_group):
         with pytest.raises(ValueError):
             device_group.all_reduce(1.0, depends_on=[None])
+
+
+class TestPeerSend:
+    def test_send_costs_the_peer_transfer(self, device_group):
+        send_op, recv_op = device_group.send(0, 1, 1e6)
+        expected = device_group.interconnect.peer_seconds(1e6, 0, 1)
+        assert send_op.duration == pytest.approx(expected)
+        assert recv_op.duration == pytest.approx(expected)
+
+    def test_send_and_recv_cover_the_same_interval(self, device_group):
+        send_op, recv_op = device_group.send(2, 3, 1e6)
+        assert (send_op.start, send_op.end) == (recv_op.start, recv_op.end)
+        assert send_op.attrs["peer"] == 3 and recv_op.attrs["peer"] == 2
+
+    def test_send_lands_on_both_peer_links(self, device_group):
+        for op in device_group.send(0, 2, 1e6):
+            assert op.resource == RESOURCE_PEER_LINK
+            assert op.stream == COMM_STREAM
+            assert op.kind == "collective"
+            assert op.attrs["collective"] == "peer_transfer"
+
+    def test_send_waits_for_dependencies(self, device_group):
+        producer = device_group[0].host_op(2.0, label="state_compute")
+        _, recv_op = device_group.send(0, 1, 1e6, depends_on=[producer])
+        assert recv_op.start >= producer.end
+
+    def test_busy_endpoint_link_delays_the_send(self, device_group):
+        first_send, _ = device_group.send(0, 1, 1e8)
+        # A disjoint pair is free to go immediately...
+        other_send, _ = device_group.send(2, 3, 1e6)
+        assert other_send.start == 0.0
+        # ...but a send sharing an endpoint queues behind the busy link.
+        second_send, _ = device_group.send(1, 2, 1e6)
+        assert second_send.start >= first_send.end
+
+    def test_send_does_not_involve_third_devices(self, device_group):
+        device_group.send(0, 1, 1e6)
+        assert device_group[2].timeline.ops == []
+        assert device_group[3].timeline.ops == []
+
+    def test_send_accumulates_peer_transfer_seconds(self, device_group):
+        device_group.send(0, 1, 1e6)
+        device_group.send(1, 0, 1e6)
+        expected = 2 * device_group.interconnect.peer_seconds(1e6, 0, 1)
+        assert device_group.collective_seconds["peer_transfer"] == pytest.approx(expected)
+        assert device_group.breakdown()["collective_peer_transfer"] == pytest.approx(
+            expected
+        )
+
+    def test_send_rejects_bad_endpoints(self, device_group):
+        with pytest.raises(ValueError, match="must differ"):
+            device_group.send(1, 1, 1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            device_group.send(0, 9, 1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            device_group.send(-1, 0, 1.0)

@@ -1,11 +1,18 @@
-"""Tests for node-wise graph sharding with halo bookkeeping."""
+"""Tests for node-wise graph sharding with halo bookkeeping, and for the
+frame partitioner that shards snapshot groups across pipeline stages."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.graph import GraphPartitioner, extract_overlap
+from repro.graph import (
+    CSRMatrix,
+    FramePartitioner,
+    GraphPartitioner,
+    GraphSnapshot,
+    extract_overlap,
+)
 
 
 class TestPlan:
@@ -70,6 +77,40 @@ class TestShards:
         dim = small_graph.feature_dim
         assert shard.halo_feature_bytes(dim) == shard.num_halo_nodes * dim * 4
 
+    def test_halo_feature_bytes_follows_dtype(self, small_graph):
+        """The halo traffic is sized by the feature dtype, not hardcoded 4B."""
+        shard = GraphPartitioner(2).shard_snapshot(small_graph[0])[0]
+        dim = small_graph.feature_dim
+        assert shard.halo_feature_bytes(dim, np.float64) == (
+            shard.num_halo_nodes * dim * 8
+        )
+        assert shard.halo_feature_bytes(dim, np.float16) == (
+            shard.num_halo_nodes * dim * 2
+        )
+        assert shard.halo_feature_bytes(dim, "float32") == shard.halo_feature_bytes(dim)
+
+    def test_multi_edge_columns_count_once_in_halo(self):
+        """Regression: a remote column referenced through several edges (two
+        rows here, plus a parallel multi-edge) must appear once in
+        ``halo_nodes`` — its features are fetched once, not per edge — so
+        ``num_halo_nodes``/``halo_feature_bytes`` do not over-count traffic."""
+        # 4 nodes, 2 devices (nodes {0,1} | {2,3}).  Rows 0 and 1 both
+        # reference remote node 3; row 0 references it through a duplicated
+        # (multi-edge) column as well.
+        indptr = np.array([0, 3, 5, 6, 7], dtype=np.int64)
+        indices = np.array([1, 3, 3, 0, 3, 2, 0], dtype=np.int64)
+        data = np.ones(len(indices), dtype=np.float32)
+        adjacency = CSRMatrix(indptr=indptr, indices=indices, data=data, shape=(4, 4))
+        snapshot = GraphSnapshot(
+            adjacency=adjacency, features=np.zeros((4, 2), dtype=np.float32)
+        )
+        shard = GraphPartitioner(2, mode="nodes").shard_snapshot(
+            snapshot, np.array([0, 2, 4])
+        )[0]
+        assert shard.halo_nodes.tolist() == [3]
+        assert shard.num_halo_nodes == 1
+        assert shard.halo_feature_bytes(2) == 1 * 2 * 4
+
     def test_shard_group_overlap_reconstructs_members(self, small_graph):
         """Per-shard overlap decomposition stays exact under sharding."""
         partitioner = GraphPartitioner(3)
@@ -106,3 +147,56 @@ class TestShards:
     def test_empty_group_rejected(self, small_graph):
         with pytest.raises(ValueError):
             GraphPartitioner(2).shard_group([])
+
+
+class TestFramePartitioner:
+    def test_round_robin_interleaves_adjacent_groups(self):
+        assignment = FramePartitioner(4).assign(8)
+        assert assignment.tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_blocked_keeps_contiguous_runs(self):
+        assignment = FramePartitioner(2, schedule="blocked").assign(6)
+        assert assignment.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_blocked_chunk_sizes_differ_by_at_most_one(self):
+        for devices in (2, 3, 4):
+            for groups in (5, 7, 9):
+                counts = np.bincount(
+                    FramePartitioner(devices, schedule="blocked").assign(groups),
+                    minlength=devices,
+                )
+                assert counts.max() - counts.min() <= 1
+
+    def test_every_group_owned_and_in_range(self):
+        for schedule in ("round_robin", "blocked"):
+            assignment = FramePartitioner(3, schedule=schedule).assign(7)
+            assert len(assignment) == 7
+            assert assignment.min() >= 0 and assignment.max() < 3
+
+    def test_stages_partition_the_groups(self):
+        stages = FramePartitioner(3).stages(8)
+        owned = sorted(g for stage in stages for g in stage.groups)
+        assert owned == list(range(8))
+        assert [stage.device for stage in stages] == [0, 1, 2]
+
+    def test_fewer_groups_than_devices_leaves_stages_empty(self):
+        stages = FramePartitioner(4).stages(2)
+        assert [stage.num_groups for stage in stages] == [1, 1, 0, 0]
+
+    def test_group_fractions_sum_to_one(self):
+        fractions = FramePartitioner(4).group_fractions(10)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_handoff_counts(self):
+        """Round-robin maximizes handoffs, blocked minimizes them."""
+        assert FramePartitioner(4).num_handoffs(8) == 7
+        assert FramePartitioner(4, schedule="blocked").num_handoffs(8) == 3
+        assert FramePartitioner(1).num_handoffs(8) == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            FramePartitioner(2, schedule="random")
+        with pytest.raises(ValueError):
+            FramePartitioner(0)
+        with pytest.raises(ValueError):
+            FramePartitioner(2).assign(0)
