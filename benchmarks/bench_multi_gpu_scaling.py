@@ -11,7 +11,7 @@ the breakdown.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 from repro.experiments import format_experiment, run_experiment
 
@@ -24,6 +24,7 @@ def test_multi_gpu_scaling(benchmark, bench_config):
         benchmark, run_experiment, "scaling", config, device_counts=(1, 2, 4, 8)
     )
     print("\n" + format_experiment("scaling", rows))
+    write_bench_json("multi_gpu", {"experiment": "scaling", "rows": rows})
 
     by_devices = {int(row["devices"]): row for row in rows}
     assert by_devices[1]["speedup"] == 1.0

@@ -11,7 +11,7 @@ speedup at 4 devices over the one-device run, with bubble time reported.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, write_bench_json
 
 from repro.experiments import format_experiment, run_experiment
 
@@ -24,6 +24,7 @@ def test_pipeline_scaling(benchmark, bench_config):
         benchmark, run_experiment, "scaling_pipeline", config, device_counts=(1, 2, 4)
     )
     print("\n" + format_experiment("scaling_pipeline", rows))
+    write_bench_json("pipeline", {"experiment": "scaling_pipeline", "rows": rows})
 
     by_devices = {int(row["devices"]): row for row in rows}
     assert by_devices[1]["speedup"] == 1.0

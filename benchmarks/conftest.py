@@ -10,9 +10,15 @@ to use the paper's complete dataset/model grid.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+from typing import Any
+
 import pytest
 
 from repro.experiments import ExperimentConfig
+from repro.telemetry.persistence import sanitize_floats
 
 
 def pytest_addoption(parser):
@@ -83,3 +89,30 @@ def light_config(request) -> ExperimentConfig:
 def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def _plain(value: Any) -> Any:
+    """NumPy scalars -> Python scalars so the payload dumps as strict JSON."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def write_bench_json(name: str, payload: Any) -> Path:
+    """Persist a benchmark's result rows as ``BENCH_<name>.json``.
+
+    CI uploads these as artifacts so scaling numbers leave a trajectory
+    across commits instead of living only in the job log.  The directory is
+    taken from ``BENCH_JSON_DIR`` (default: current directory); non-finite
+    floats use the repo's marker-string convention.
+    """
+    out_dir = Path(os.environ.get("BENCH_JSON_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    doc = sanitize_floats(_plain(payload))
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

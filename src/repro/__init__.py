@@ -26,6 +26,8 @@ Sub-packages
   group with ring collectives, data-parallel trainer and sharded serving.
 - :mod:`repro.profiling` — breakdowns, utilization, load-balance analysis.
 - :mod:`repro.experiments` — one module per paper table/figure.
+- :mod:`repro.telemetry` — observability: span tracing, Chrome-trace export,
+  the unified metrics registry and the callback/hook layer.
 - :mod:`repro.api` — the unified entry layer: declarative ``RunSpec``,
   the ``Engine`` façade and the ``python -m repro`` CLI.
 
@@ -48,6 +50,7 @@ _LAZY_EXPORTS = {
     "RunReport": "repro.api",
     "RunSpec": "repro.api",
     "ServingSpec": "repro.api",
+    "TelemetrySpec": "repro.api",
     "TraceSpec": "repro.api",
     "DEVICE_REGISTRY": "repro.api",
     "SERVING_REGISTRY": "repro.api",
@@ -125,6 +128,15 @@ _LAZY_EXPORTS = {
     "build_serving_engine": "repro.serving",
     "random_delta": "repro.serving",
     "synthesize_serving_trace": "repro.serving",
+    # telemetry
+    "CALLBACK_REGISTRY": "repro.telemetry",
+    "EXPORTER_REGISTRY": "repro.telemetry",
+    "MetricsRegistry": "repro.telemetry",
+    "SpanTracer": "repro.telemetry",
+    "Telemetry": "repro.telemetry",
+    "TelemetryCallback": "repro.telemetry",
+    "build_chrome_trace": "repro.telemetry",
+    "export_chrome_trace": "repro.telemetry",
     # experiments
     "ExperimentConfig": "repro.experiments",
     "run_experiment": "repro.experiments",

@@ -34,6 +34,7 @@ from repro.api.spec import (
     DeviceSpec,
     RunSpec,
     ServingSpec,
+    TelemetrySpec,
     TraceSpec,
 )
 
@@ -52,6 +53,7 @@ __all__ = [
     "SERVING_REGISTRY",
     "ServingKind",
     "ServingSpec",
+    "TelemetrySpec",
     "TraceSpec",
     "build_serving",
     "build_trainer",

@@ -179,6 +179,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import list_experiments
     from repro.graph.datasets import DATASET_ORDER
     from repro.nn import MODEL_ORDER
+    from repro.telemetry.chrome_trace import EXPORTER_REGISTRY
+    from repro.telemetry.hooks import CALLBACK_REGISTRY
 
     catalogue = {
         "datasets": list(DATASET_ORDER),
@@ -188,6 +190,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "serving_kinds": {k: v.description for k, v in SERVING_REGISTRY.items()},
         "experiments": list_experiments(),
         "presets": sorted(PRESETS),
+        "telemetry_callbacks": dict(CALLBACK_REGISTRY),
+        "telemetry_exporters": dict(EXPORTER_REGISTRY),
     }
     if args.json:
         print(json.dumps(catalogue, indent=2))
@@ -202,8 +206,27 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_output_flags(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
+    """Fold ``--trace``/``--save-report`` into the spec's telemetry section.
+
+    The flags are sugar over ``--set telemetry.trace_path=...`` — artifact
+    export stays spec-driven, so programmatic :class:`Engine` users and the
+    CLI produce identical files.
+    """
+    updates: Dict[str, Any] = {}
+    if getattr(args, "trace", None):
+        updates["trace_path"] = args.trace
+    if getattr(args, "save_report", None):
+        updates["report_path"] = args.save_report
+    if not updates:
+        return spec
+    if not spec.telemetry.enabled and "trace_path" in updates:
+        raise ValueError("--trace requires telemetry.enabled=True")
+    return spec.replace(telemetry=spec.telemetry.replace(**updates))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = load_spec(args.spec, args.set or ())
+    spec = _apply_output_flags(load_spec(args.spec, args.set or ()), args)
     engine = Engine.from_spec(spec)
     report = engine.run()
     if args.json:
@@ -214,7 +237,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    spec = load_spec(args.spec, args.set or ())
+    spec = _apply_output_flags(load_spec(args.spec, args.set or ()), args)
     if spec.serving is None:
         raise ValueError(
             f"spec {args.spec!r} has no serving section; add one or use "
@@ -223,6 +246,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = Engine.from_spec(spec)
     engine.serve()
     report = engine.report()
+    engine.export_artifacts(report)
     if args.json:
         print(_summary_json(report.summary()))
     else:
@@ -272,6 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="dotted spec override, e.g. --set device.num_devices=4",
     )
     p_run.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p_run.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome-trace JSON of the simulated run (open in Perfetto)",
+    )
+    p_run.add_argument(
+        "--save-report", metavar="PATH",
+        help="write the full RunReport as JSON (reload with RunReport.load)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_serve = sub.add_parser("serve", help="run a spec's online serving phase")
@@ -281,6 +313,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="dotted spec override, e.g. --set serving.num_shards=4",
     )
     p_serve.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p_serve.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome-trace JSON of the simulated run (open in Perfetto)",
+    )
+    p_serve.add_argument(
+        "--save-report", metavar="PATH",
+        help="write the full RunReport as JSON (reload with RunReport.load)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")

@@ -14,7 +14,8 @@ so losses are bit-identical with the pre-façade code paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -28,6 +29,8 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.nn.base_model import DGNNModel
 from repro.serving.deltas import ServingEvent, synthesize_serving_trace
 from repro.serving.metrics import ServingReport
+from repro.telemetry.persistence import restore_float_dict, sanitize_floats
+from repro.telemetry.runtime import Telemetry
 
 
 @dataclass
@@ -37,6 +40,9 @@ class RunReport:
     spec: RunSpec
     training: Optional[TrainingResult] = None
     serving: Optional[ServingReport] = None
+    #: flat telemetry snapshot (``MetricsRegistry.snapshot()``); empty when
+    #: the run's telemetry is disabled
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ views
     def timeline_breakdown(self) -> Dict[str, float]:
@@ -110,6 +116,46 @@ class RunReport:
             lines.extend("  " + line for line in self.serving.format().splitlines())
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------ persistence
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless plain-data view (strict JSON: non-finite floats become
+        the marker strings of :mod:`repro.telemetry.persistence`)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "training": None if self.training is None else self.training.to_dict(),
+            "serving": None if self.serving is None else self.serving.to_dict(),
+            "metrics": sanitize_floats(dict(self.metrics)),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunReport":
+        training = data.get("training")
+        serving = data.get("serving")
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            training=None if training is None else TrainingResult.from_dict(training),
+            serving=None if serving is None else ServingReport.from_dict(serving),
+            metrics=restore_float_dict(data.get("metrics")),
+        )
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the report as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunReport":
+        """Read a report back from a JSON file."""
+        return cls.from_json(Path(path).read_text())
+
 
 class Engine:
     """Resolves one :class:`RunSpec` into trainers/serving engines and runs it."""
@@ -122,6 +168,7 @@ class Engine:
         model: Optional[DGNNModel] = None,
     ) -> None:
         self.spec = spec
+        self.telemetry = Telemetry.from_spec(spec.telemetry)
         self._graph: Optional[DynamicGraph] = graph
         self._model: Optional[DGNNModel] = model
         self._trainer: Optional[DGNNTrainerBase] = None
@@ -169,6 +216,7 @@ class Engine:
         """The resolved trainer (built on first access, then reused)."""
         if self._trainer is None:
             self._trainer = registries.build_trainer(self.spec, self.graph)
+            self.telemetry.attach_trainer(self._trainer)
         return self._trainer
 
     @property
@@ -186,12 +234,16 @@ class Engine:
             self._serving_engine = registries.build_serving(
                 self.spec, self.graph, self.model
             )
+            self.telemetry.attach_serving(self._serving_engine)
         return self._serving_engine
 
     # ------------------------------------------------------------------ lifecycle
     def train(self) -> TrainingResult:
         """Run the training phase and cache its result."""
-        self._training = self.trainer.train()
+        trainer = self.trainer
+        self.telemetry.hooks.on_phase_start("train", trainer._sim_now())
+        self._training = trainer.train()
+        self.telemetry.hooks.on_phase_end("train", self._training.simulated_seconds)
         return self._training
 
     def default_trace(self) -> List[ServingEvent]:
@@ -221,7 +273,11 @@ class Engine:
         if self._model is None and self._training is None:
             self.train()
         events = list(trace) if trace is not None else self.default_trace()
+        self.telemetry.hooks.on_phase_start("serve", 0.0)
         self._serving_report = self.serving_engine.run_trace(events)
+        self.telemetry.hooks.on_phase_end(
+            "serve", self._serving_report.simulated_seconds
+        )
         return self._serving_report
 
     def run(self) -> RunReport:
@@ -229,15 +285,41 @@ class Engine:
         self.train()
         if self.spec.serving is not None:
             self.serve()
-        return self.report()
+        report = self.report()
+        self.export_artifacts(report)
+        return report
 
     def report(self) -> RunReport:
         """Normalized report over whatever has executed so far."""
-        return RunReport(
+        report = RunReport(
             spec=self.spec,
             training=self._training,
             serving=self._serving_report,
         )
+        report.metrics = self.telemetry.collect(report)
+        return report
+
+    # ------------------------------------------------------------------ artifacts
+    def export_trace(self, path: Union[str, Path]) -> Dict[str, Any]:
+        """Write a Chrome-trace JSON of whatever has executed so far."""
+        return self.telemetry.export_trace(
+            path,
+            trainer=self._trainer,
+            serving_engine=self._serving_engine,
+            metadata={
+                "dataset": self.spec.dataset,
+                "model": self.spec.model,
+                "method": self.spec.method,
+            },
+        )
+
+    def export_artifacts(self, report: RunReport) -> None:
+        """Honor the spec's telemetry output paths (trace / report JSON)."""
+        tel = self.spec.telemetry
+        if tel.trace_path:
+            self.export_trace(tel.trace_path)
+        if tel.report_path:
+            report.save(tel.report_path)
 
 
 __all__ = ["COLLECTIVE_KEYS", "Engine", "RunReport"]

@@ -175,6 +175,38 @@ class TraceSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class TelemetrySpec(_SpecBase):
+    """Observability section of a run: exporters and callback sinks.
+
+    ``trace_path``/``report_path`` are export destinations the engine writes
+    after :meth:`~repro.api.engine.Engine.run` (the CLI's ``--trace`` /
+    ``--save-report`` flags set them); ``callbacks`` selects extra sinks from
+    the telemetry callback registry (the tracing and metrics sinks are always
+    active while telemetry is enabled).
+    """
+
+    enabled: bool = True
+    #: Chrome-trace-event JSON destination (None -> no trace export)
+    trace_path: Optional[str] = None
+    #: run-report JSON destination (None -> no report export)
+    report_path: Optional[str] = None
+    #: extra callback sinks by registry name (e.g. ``("logging",)``)
+    callbacks: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        from repro.telemetry.hooks import CALLBACK_REGISTRY
+
+        if not isinstance(self.callbacks, tuple):
+            object.__setattr__(self, "callbacks", tuple(self.callbacks))
+        unknown = set(self.callbacks) - set(CALLBACK_REGISTRY)
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry callback(s) {sorted(unknown)}; "
+                f"valid callbacks: {_known_choices(CALLBACK_REGISTRY)}"
+            )
+
+
+@dataclass(frozen=True)
 class ServingSpec(_SpecBase):
     """Online-serving section of a run: engine topology + scheduler knobs."""
 
@@ -248,6 +280,8 @@ class RunSpec(_SpecBase):
     device: DeviceSpec = field(default_factory=DeviceSpec)
     #: optional online-serving phase; ``None`` means a training-only run
     serving: Optional[ServingSpec] = None
+    #: observability: exporters + callback sinks (enabled by default)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
 
     def __post_init__(self) -> None:
         from repro.baselines import _registry
@@ -260,6 +294,10 @@ class RunSpec(_SpecBase):
             object.__setattr__(self, "device", DeviceSpec.from_dict(self.device))
         if isinstance(self.serving, Mapping):
             object.__setattr__(self, "serving", ServingSpec.from_dict(self.serving))
+        if isinstance(self.telemetry, Mapping):
+            object.__setattr__(
+                self, "telemetry", TelemetrySpec.from_dict(self.telemetry)
+            )
 
         dataset_key = self.dataset.lower().replace("-", "_")
         if dataset_key not in DATASET_ORDER:
@@ -344,8 +382,11 @@ class RunSpec(_SpecBase):
 _NESTED_SPECS: Dict[Tuple[str, str], type] = {
     ("RunSpec", "device"): DeviceSpec,
     ("RunSpec", "serving"): ServingSpec,
+    ("RunSpec", "telemetry"): TelemetrySpec,
     ("ServingSpec", "trace"): TraceSpec,
 }
 
 #: fields that serialize as JSON lists but are tuples in memory
-_TUPLE_FIELDS: Dict[str, Tuple[str, ...]] = {}
+_TUPLE_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "TelemetrySpec": ("callbacks",),
+}

@@ -38,6 +38,7 @@ from repro.nn import build_model
 from repro.nn.aggregation import DictAggregationCache, SequentialAggregationProvider
 from repro.nn.base_model import DGNNModel
 from repro.nn.context import ExecutionContext
+from repro.telemetry.hooks import NULL_CALLBACK, TelemetryCallback
 from repro.tensor import Adam, SGD, Tensor, no_grad, observe_ops
 from repro.tensor.nn.loss import mse_loss
 from repro.utils.validation import check_positive
@@ -101,10 +102,21 @@ class DGNNTrainerBase:
         self.frames = FrameIterator(graph, frame_size=self.config.frame_size)
         self.cache = DictAggregationCache() if self.use_reuse else None
         self.context = ExecutionContext(spec=self.config.gpu, scale=self.scale)
+        #: telemetry sink; the engine swaps in a live CallbackList, standalone
+        #: trainers keep the no-op null object
+        self.hooks: TelemetryCallback = NULL_CALLBACK
         self._loss_history: List[float] = []
         self._epoch_boundaries: List[float] = [0.0]
 
     # ------------------------------------------------------------------ helpers
+    def _sim_now(self) -> float:
+        """Current simulated time hook events are stamped with.
+
+        Group trainers override this with the group makespan so events line
+        up with the multi-device clock.
+        """
+        return self.device.elapsed_seconds()
+
     def _resolve_scale(self) -> float:
         if self.config.cost_scale is not None:
             return float(self.config.cost_scale)
@@ -310,7 +322,14 @@ class DGNNTrainerBase:
     def run_epoch(self, epoch: int) -> EpochMetrics:
         start = self.device.elapsed_seconds()
         start_breakdown = self.device.timeline.kind_seconds()
-        losses = [self._train_frame(frame, epoch) for frame in self.frames]
+        hook_start = self._sim_now()
+        self.hooks.on_epoch_start(epoch, hook_start)
+        losses = []
+        for frame in self.frames:
+            frame_start = self._sim_now()
+            loss = self._train_frame(frame, epoch)
+            self.hooks.on_frame(frame.index, epoch, frame_start, self._sim_now(), loss)
+            losses.append(loss)
         end = self.device.elapsed_seconds()
         end_breakdown = self.device.timeline.kind_seconds()
         metrics = EpochMetrics(
@@ -325,6 +344,7 @@ class DGNNTrainerBase:
         )
         self._loss_history.append(metrics.loss)
         self._epoch_boundaries.append(end)
+        self.hooks.on_epoch_end(epoch, metrics, hook_start, self._sim_now())
         return metrics
 
     def train(self, epochs: Optional[int] = None) -> TrainingResult:

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping
+
+from repro.telemetry.persistence import restore_floats, sanitize_floats
 
 
 @dataclass
@@ -18,6 +20,13 @@ class EpochMetrics:
     cpu_seconds: float
     cache_hits: int = 0
     cache_misses: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return sanitize_floats(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EpochMetrics":
+        return cls(**restore_floats(dict(data)))
 
 
 @dataclass
@@ -74,3 +83,23 @@ class TrainingResult:
 
     def loss_curve(self) -> List[float]:
         return [m.loss for m in self.epoch_metrics]
+
+    # ------------------------------------------------------------------ persistence
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view; non-finite floats become marker strings."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "epoch_metrics"
+        }
+        out = sanitize_floats(out)
+        out["epoch_metrics"] = [m.to_dict() for m in self.epoch_metrics]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrainingResult":
+        payload = dict(data)
+        epoch_metrics = [
+            EpochMetrics.from_dict(m) for m in payload.pop("epoch_metrics", ())
+        ]
+        return cls(epoch_metrics=epoch_metrics, **restore_floats(payload))

@@ -170,6 +170,9 @@ class DistributedTrainer(PiPADTrainer):
         self._halo_bytes_total = 0.0
 
     # ------------------------------------------------------------------ cost sharing
+    def _sim_now(self) -> float:
+        return self.group.makespan()
+
     def _cost_fraction(self, device: int, cost: KernelCost) -> float:
         """Share of one kernel's work that lands on ``device``'s shard.
 

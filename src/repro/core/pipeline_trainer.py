@@ -151,6 +151,9 @@ class PipelineTrainer(PiPADTrainer):
     def _pipelined(self) -> bool:
         return not self._preparing and self.group.num_devices > 1
 
+    def _sim_now(self) -> float:
+        return self.group.makespan()
+
     # ------------------------------------------------------------------ frame hooks
     def _before_frame(self, frame: Frame, epoch: int) -> None:
         super()._before_frame(frame, epoch)
@@ -275,7 +278,11 @@ class PipelineTrainer(PiPADTrainer):
             stream=stream,
             depends_on=local_deps + chain_deps,
         )
-        self._bubble_seconds += max(0.0, ops[0].start - local_ready)
+        bubble = ops[0].start - local_ready
+        if bubble > 0.0:
+            self._bubble_seconds += bubble
+            stage = self.group.devices.index(device)
+            self.hooks.on_bubble(stage, local_ready, ops[0].start)
         return ops
 
     def _launch_backward(

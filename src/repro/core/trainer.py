@@ -284,9 +284,14 @@ class PiPADTrainer(DGNNTrainerBase):
 
     # ------------------------------------------------------------------ epochs
     def run_epoch(self, epoch: int) -> EpochMetrics:
+        was_preparing = self._preparing
         self._preparing = self._epochs_run < self.pipad.preparing_epochs
+        if self._preparing and self._epochs_run == 0:
+            self.hooks.on_phase_start("prepare", self._sim_now())
         if not self._preparing and not self._preprocessed:
             self._run_preprocessing()
+            if was_preparing and self.pipad.preparing_epochs > 0:
+                self.hooks.on_phase_end("prepare", self._sim_now())
         metrics = super().run_epoch(epoch)
         self._epochs_run += 1
         return metrics

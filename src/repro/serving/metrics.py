@@ -11,12 +11,13 @@ the benchmark harness.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping
 
 import numpy as np
 
 from repro.baselines.results import TrainingResult
+from repro.telemetry.persistence import restore_floats, sanitize_floats
 
 
 @dataclass(frozen=True)
@@ -122,12 +123,21 @@ class ServingMetrics:
     def mean_batch_size(self) -> float:
         return float(np.mean([b.size for b in self.batches])) if self.batches else 0.0
 
+    def rows_per_delta(self) -> float:
+        """Mean invalidated rows per ingested delta; NaN when no delta has
+        arrived (an empty ingestion window must not read as a zero-cost one —
+        same convention as :meth:`latency_percentile`)."""
+        if not self.deltas_ingested:
+            return float("nan")
+        return self.rows_touched / self.deltas_ingested
+
     def summary(self) -> Dict[str, float]:
         return {
             "requests": float(self.num_requests),
             "batches": float(len(self.batches)),
             "deltas": float(self.deltas_ingested),
             "rows_touched": float(self.rows_touched),
+            "rows_per_delta": self.rows_per_delta(),
             "mean_batch_size": self.mean_batch_size(),
             "p50_latency_ms": self.p50_latency * 1e3,
             "p99_latency_ms": self.p99_latency * 1e3,
@@ -135,6 +145,27 @@ class ServingMetrics:
             "throughput_rps": self.throughput_rps(),
             "cache_hit_rate": self.cache_hit_rate,
         }
+
+    # -- persistence ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view; non-finite floats become marker strings."""
+        return {
+            "requests": [sanitize_floats(asdict(r)) for r in self.requests],
+            "batches": [sanitize_floats(asdict(b)) for b in self.batches],
+            "deltas_ingested": self.deltas_ingested,
+            "rows_touched": self.rows_touched,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingMetrics":
+        metrics = cls()
+        for item in data.get("requests", ()):
+            metrics.record_request(RequestRecord(**restore_floats(dict(item))))
+        for item in data.get("batches", ()):
+            metrics.record_batch(BatchRecord(**restore_floats(dict(item))))
+        metrics.deltas_ingested = int(data.get("deltas_ingested", 0))
+        metrics.rows_touched = int(data.get("rows_touched", 0))
+        return metrics
 
 
 @dataclass
@@ -201,6 +232,24 @@ class ServingReport:
             extras=extras,
         )
 
+    # -- persistence ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view; non-finite floats become marker strings."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "metrics"
+        }
+        out = sanitize_floats(out)
+        out["metrics"] = self.metrics.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServingReport":
+        payload = dict(data)
+        metrics = ServingMetrics.from_dict(payload.pop("metrics", {}))
+        return cls(metrics=metrics, **restore_floats(payload))
+
     def format(self) -> str:
         """Human-readable one-run summary (examples and benchmark logs)."""
         s = self.metrics.summary()
@@ -209,6 +258,10 @@ class ServingReport:
             (
                 f"  requests={s['requests']:.0f} batches={s['batches']:.0f} "
                 f"deltas={s['deltas']:.0f} mean_batch={s['mean_batch_size']:.1f}"
+            ),
+            (
+                f"  delta ingestion: rows_touched={s['rows_touched']:.0f} "
+                f"rows/delta={s['rows_per_delta']:.1f}"
             ),
             (
                 f"  latency p50={s['p50_latency_ms']:.3f} ms  "

@@ -38,6 +38,7 @@ from repro.serving.deltas import GraphDelta, ServingEvent
 from repro.serving.metrics import BatchRecord, RequestRecord, ServingMetrics, ServingReport
 from repro.serving.session import InferenceSession
 from repro.serving.store import DeltaReport, IncrementalSnapshotStore
+from repro.telemetry.hooks import NULL_CALLBACK, TelemetryCallback
 from repro.utils.validation import check_in_range, check_positive
 
 #: per-snapshot activation-memory amplification (matches the trainer's bound;
@@ -245,6 +246,8 @@ class ServingScheduler:
             max_delay_ms=self.config.max_delay_ms,
         )
         self.metrics = ServingMetrics()
+        #: telemetry sink; the engine swaps in a live CallbackList
+        self.hooks: TelemetryCallback = NULL_CALLBACK
         self._next_request_id = 0
         self._last_delta_op = None
         self._wall_start = time.perf_counter()
@@ -264,6 +267,7 @@ class ServingScheduler:
             not_before=at,
         )
         self.metrics.record_delta(report.num_touched)
+        self.hooks.on_delta(report.version, report.num_touched, at)
         return report
 
     def submit(self, node_ids: Iterable[int], *, at: Optional[float] = None) -> int:
@@ -354,32 +358,32 @@ class ServingScheduler:
         )
         completion = d2h.end
 
-        self.metrics.record_batch(
-            BatchRecord(
-                batch_id=batch.batch_id,
-                size=batch.size,
-                s_per=decision.s_per,
-                formed_time=batch.formed_time,
-                completion_time=completion,
-                transfer_bytes=transfer_bytes,
-                cache_hits=(self.reuse.cpu_hits + self.reuse.gpu_hits) - hits_before,
-                cache_misses=self.reuse.misses - misses_before,
-            )
+        batch_record = BatchRecord(
+            batch_id=batch.batch_id,
+            size=batch.size,
+            s_per=decision.s_per,
+            formed_time=batch.formed_time,
+            completion_time=completion,
+            transfer_bytes=transfer_bytes,
+            cache_hits=(self.reuse.cpu_hits + self.reuse.gpu_hits) - hits_before,
+            cache_misses=self.reuse.misses - misses_before,
         )
+        self.metrics.record_batch(batch_record)
+        self.hooks.on_batch(batch_record)
         per_request: Dict[int, np.ndarray] = {}
         batch_nodes = batch.node_ids
         for request in batch.requests:
             rows = np.searchsorted(batch_nodes, request.node_ids)
             per_request[request.request_id] = predictions[rows]
-            self.metrics.record_request(
-                RequestRecord(
-                    request_id=request.request_id,
-                    batch_id=batch.batch_id,
-                    arrival_time=request.arrival_time,
-                    completion_time=completion,
-                    num_nodes=len(request.node_ids),
-                )
+            request_record = RequestRecord(
+                request_id=request.request_id,
+                batch_id=batch.batch_id,
+                arrival_time=request.arrival_time,
+                completion_time=completion,
+                num_nodes=len(request.node_ids),
             )
+            self.metrics.record_request(request_record)
+            self.hooks.on_request(request_record)
         return BatchResult(
             batch_id=batch.batch_id,
             decision=decision,

@@ -20,7 +20,8 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for section in ("datasets:", "models:", "methods:", "device_kinds:",
-                        "serving_kinds:", "experiments:", "presets:"):
+                        "serving_kinds:", "experiments:", "presets:",
+                        "telemetry_callbacks:", "telemetry_exporters:"):
             assert section in out
         assert "pipad" in out
         assert "covid19_england" in out
@@ -31,6 +32,8 @@ class TestList:
         assert "sharded" in catalogue["serving_kinds"]
         assert "quick" in catalogue["presets"]
         assert "table1" in catalogue["experiments"]
+        assert "logging" in catalogue["telemetry_callbacks"]
+        assert "chrome-trace" in catalogue["telemetry_exporters"]
 
 
 class TestSpecLoading:
@@ -146,6 +149,23 @@ class TestSetCoercion:
         with pytest.raises(ValueError, match="not a nested section"):
             _apply_overrides({"epochs": 3}, ["epochs.inner=1"])
 
+    def test_telemetry_section_coerces_from_dotted_keys(self):
+        spec = load_spec(
+            "quick",
+            [
+                "telemetry.enabled=False",
+                "telemetry.trace_path=out.json",
+                'telemetry.callbacks=["logging"]',
+            ],
+        )
+        assert spec.telemetry.enabled is False
+        assert spec.telemetry.trace_path == "out.json"
+        assert spec.telemetry.callbacks == ("logging",)
+
+    def test_unknown_telemetry_callback_rejected(self):
+        with pytest.raises(ValueError, match="unknown telemetry callback"):
+            load_spec("quick", ['telemetry.callbacks=["prometheus"]'])
+
 
 class TestRun:
     def test_run_quick_preset(self, capsys):
@@ -164,6 +184,28 @@ class TestRun:
         assert main(["run", "quick", "--set", "dataset=imagenet"]) == 2
         assert "unknown dataset" in capsys.readouterr().err
 
+    def test_run_trace_and_save_report_write_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.json"
+        assert main([
+            "run", "quick",
+            "--trace", str(trace),
+            "--save-report", str(report),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"] and doc["displayTimeUnit"] == "ms"
+        payload = json.loads(report.read_text())
+        assert set(payload) == {"spec", "training", "serving", "metrics"}
+        assert payload["metrics"]  # telemetry snapshot is populated
+
+    def test_trace_with_disabled_telemetry_exits_2(self, capsys):
+        assert main([
+            "run", "quick",
+            "--set", "telemetry.enabled=False",
+            "--trace", "out.json",
+        ]) == 2
+        assert "telemetry.enabled" in capsys.readouterr().err
+
 
 class TestServe:
     def test_serve_requires_serving_section(self, capsys):
@@ -179,6 +221,21 @@ class TestServe:
         out = capsys.readouterr().out
         assert "engine=PiPAD-Serve-x2" in out
         assert "latency p50=" in out
+        assert "delta ingestion:" in out
+
+    def test_serve_save_report_round_trips(self, tmp_path, capsys):
+        from repro.api import RunReport
+
+        report = tmp_path / "report.json"
+        assert main([
+            "serve", "sharded-serving",
+            "--set", "num_snapshots=8",
+            "--set", "serving.trace.num_events=40",
+            "--save-report", str(report),
+        ]) == 0
+        restored = RunReport.load(report)
+        assert restored.serving is not None
+        assert restored.serving.metrics.num_requests > 0
 
 
 class TestExperiment:

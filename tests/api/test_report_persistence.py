@@ -1,0 +1,104 @@
+"""RunReport JSON persistence: lossless round-trips for every run shape."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.api import Engine, RunReport, RunSpec
+
+
+def _training_spec() -> RunSpec:
+    return RunSpec(
+        dataset="covid19_england",
+        model="tgcn",
+        method="pipad",
+        num_snapshots=10,
+        frame_size=6,
+        epochs=2,
+    )
+
+
+def _serving_spec() -> RunSpec:
+    return RunSpec(
+        dataset="covid19_england",
+        model="tgcn",
+        method="pipad",
+        num_snapshots=10,
+        frame_size=6,
+        epochs=1,
+        serving={"trace": {"num_events": 30, "seed": 3}},
+    )
+
+
+def _assert_round_trip(report: RunReport) -> RunReport:
+    text = report.to_json()
+    restored = RunReport.from_json(text)
+    assert restored.to_json() == text  # lossless: identical re-serialization
+    return restored
+
+
+class TestRoundTrip:
+    def test_training_only(self):
+        report = Engine.from_spec(_training_spec()).run()
+        assert report.serving is None
+        restored = _assert_round_trip(report)
+        assert restored.spec == report.spec
+        assert restored.serving is None
+        assert restored.training.final_loss == report.training.final_loss
+        assert restored.training.breakdown == report.training.breakdown
+        assert len(restored.training.epoch_metrics) == report.training.epochs
+        assert restored.metrics == report.metrics
+
+    def test_serving_only(self):
+        engine = Engine.from_spec(_serving_spec())
+        engine.serve()
+        report = engine.report()
+        report.training = None  # persist the online phase alone
+        restored = _assert_round_trip(report)
+        assert restored.training is None
+        assert restored.serving.metrics.num_requests > 0
+        assert (
+            restored.serving.metrics.summary() == report.serving.metrics.summary()
+        )
+
+    def test_combined(self):
+        report = Engine.from_spec(_serving_spec()).run()
+        assert report.training is not None and report.serving is not None
+        restored = _assert_round_trip(report)
+        assert restored.summary() == report.summary()
+
+    def test_save_load_file(self, tmp_path):
+        report = Engine.from_spec(_training_spec()).run()
+        path = report.save(tmp_path / "report.json")
+        restored = RunReport.load(path)
+        assert restored.to_json() == report.to_json()
+
+    def test_file_is_strict_json(self, tmp_path):
+        report = Engine.from_spec(_serving_spec()).run()
+        path = report.save(tmp_path / "report.json")
+        # json.load with default strictness: bare NaN tokens would fail here
+        # via parse_constant.
+        json.loads(
+            path.read_text(),
+            parse_constant=lambda name: pytest.fail(f"bare {name} in JSON"),
+        )
+
+    def test_nan_fields_survive(self):
+        # A serving run with zero deltas has NaN rows_per_delta; an engine
+        # report with no serving phase still round-trips its NaN-free dict.
+        engine = Engine.from_spec(_serving_spec())
+        engine.serve()
+        report = engine.report()
+        report.serving.metrics.requests.clear()  # force empty-window NaNs
+        restored = _assert_round_trip(report)
+        assert math.isnan(restored.serving.metrics.p50_latency)
+
+    def test_from_dict_rejects_unknown_spec_keys(self):
+        report = Engine.from_spec(_training_spec()).run()
+        payload = report.to_dict()
+        payload["spec"]["bogus_key"] = 1
+        with pytest.raises(ValueError):
+            RunReport.from_dict(payload)

@@ -1,0 +1,138 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("hits")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_starts_as_nan_not_zero(self):
+        # An unset gauge must not read as a measured zero.
+        g = Gauge("depth")
+        assert math.isnan(g.value)
+
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(4.0)
+        g.add(1.5)
+        assert g.value == 5.5
+
+    def test_add_on_unset_gauge_treats_nan_as_zero(self):
+        g = Gauge("depth")
+        g.add(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_empty_percentiles_are_nan(self):
+        h = Histogram("lat")
+        assert math.isnan(h.percentile(50.0))
+        assert math.isnan(h.mean)
+        assert h.count == 0
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+        with pytest.raises(ValueError):
+            h.percentile(-0.5)
+
+    def test_percentiles_interpolate(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(100.0) == 4.0
+        assert h.percentile(50.0) == pytest.approx(2.5)
+        assert h.mean == pytest.approx(2.5)
+        assert h.total == pytest.approx(10.0)
+
+    def test_snapshot_expands_to_flat_keys(self):
+        h = Histogram("lat")
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert snap["count"] == 1.0
+        assert snap["sum"] == 2.0
+        assert snap["mean"] == 2.0
+        assert snap["p50"] == 2.0
+        assert snap["p99"] == 2.0
+
+
+class TestMetricsRegistry:
+    def test_empty_registry_snapshot_is_empty(self):
+        reg = MetricsRegistry()
+        assert reg.snapshot() == {}
+        assert len(reg) == 0
+
+    def test_double_register_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("train.frames")
+        b = reg.counter("train.frames")
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+        assert len(reg) == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_empty_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.depth").set(1.0)
+        reg.histogram("c.lat").observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["b.count"] == 2.0
+        assert snap["a.depth"] == 1.0
+        assert snap["c.lat.count"] == 1.0
+        assert snap["c.lat.p99"] == 3.0
+
+    def test_set_gauges_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.set_gauges({"kernel": 1.0, "h2d": 0.5}, prefix="train.breakdown.")
+        snap = reg.snapshot()
+        assert snap["train.breakdown.kernel"] == 1.0
+        assert snap["train.breakdown.h2d"] == 0.5
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        reg.gauge("y")
+        assert "x" in reg and "y" in reg and "z" not in reg
+        assert reg.names() == ["x", "y"]
+
+    def test_reset_clears_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {}

@@ -1,0 +1,122 @@
+"""Unit tests for the span tracer and the callback/hook layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    CALLBACK_REGISTRY,
+    CallbackList,
+    MetricsRegistry,
+    SpanTracer,
+    Telemetry,
+    TelemetryCallback,
+    TracingCallback,
+)
+from repro.telemetry.hooks import HOOK_NAMES, NULL_CALLBACK
+
+
+class TestSpanTracer:
+    def test_nested_spans_track_depth(self):
+        t = SpanTracer()
+        t.begin("train", at=0.0)
+        t.begin("epoch_0", at=0.0, category="epoch")
+        t.end("epoch_0", at=1.0)
+        t.end("train", at=2.0)
+        spans = {s.name: s for s in t.spans}
+        assert spans["train"].depth == 0
+        assert spans["epoch_0"].depth == 1
+        assert spans["train"].duration == 2.0
+
+    def test_end_unknown_span_raises(self):
+        t = SpanTracer()
+        with pytest.raises(ValueError):
+            t.end("nope", at=1.0)
+
+    def test_end_closes_deeper_open_spans(self):
+        t = SpanTracer()
+        t.begin("outer", at=0.0)
+        t.begin("inner", at=0.5)
+        t.end("outer", at=2.0)  # inner left open: closed at the same instant
+        spans = {s.name: s for s in t.spans}
+        assert spans["inner"].closed and spans["inner"].end == 2.0
+        assert t.open_depth == 0
+
+    def test_record_leaf_span_clamps_end(self):
+        t = SpanTracer()
+        t.record("frame_0", 1.0, 0.5, category="frame")
+        (span,) = t.spans
+        assert span.end == 1.0  # end < start clamps to zero width
+
+    def test_extent_per_domain(self):
+        t = SpanTracer()
+        t.record("a", 0.0, 2.0, domain="train")
+        t.record("b", 0.0, 5.0, domain="serve")
+        assert t.extent("train") == 2.0
+        assert t.extent("serve") == 5.0
+        assert t.extent() == 5.0
+        assert SpanTracer().extent() == 0.0
+
+    def test_close_all_closes_every_open_span(self):
+        t = SpanTracer()
+        t.begin("a", at=0.0)
+        t.begin("b", at=1.0)
+        t.close_all(at=3.0)
+        assert all(s.closed for s in t.spans)
+        assert t.open_depth == 0
+
+    def test_by_category(self):
+        t = SpanTracer()
+        t.record("f", 0.0, 1.0, category="frame")
+        t.record("g", 0.0, 1.0, category="epoch")
+        assert [s.name for s in t.by_category("frame")] == ["f"]
+
+
+class TestCallbackList:
+    def test_fans_out_to_every_callback(self):
+        calls = []
+
+        class Probe(TelemetryCallback):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_epoch_start(self, epoch, at):
+                calls.append((self.tag, epoch))
+
+        fan = CallbackList().add(Probe("a")).add(Probe("b"))
+        fan.on_epoch_start(3, 0.0)
+        assert calls == [("a", 3), ("b", 3)]
+
+    def test_covers_every_hook_name(self):
+        fan = CallbackList()
+        for name in HOOK_NAMES:
+            assert callable(getattr(fan, name))
+            assert callable(getattr(NULL_CALLBACK, name))
+
+    def test_tracing_callback_builds_spans(self):
+        tracer = SpanTracer()
+        cb = TracingCallback(tracer)
+        cb.on_phase_start("train", 0.0)
+        cb.on_epoch_start(0, 0.0)
+        cb.on_frame(0, 0, 0.0, 0.5, loss=1.0)
+        cb.on_epoch_end(0, None, 0.0, 1.0)
+        cb.on_phase_end("train", 1.0)
+        names = [s.name for s in tracer.spans]
+        assert "train" in names and "epoch_0" in names and "frame_0" in names
+
+
+class TestTelemetryRuntime:
+    def test_unknown_callback_name_rejected(self):
+        with pytest.raises(ValueError):
+            Telemetry(callbacks=("nope",))
+
+    def test_known_names_match_registry(self):
+        Telemetry(callbacks=tuple(CALLBACK_REGISTRY))  # does not raise
+
+    def test_disabled_telemetry_collects_nothing(self):
+        tel = Telemetry(enabled=False)
+        assert isinstance(tel.registry, MetricsRegistry)
+        assert tel.collect(None) == {}
+
+    def test_from_spec_none_is_disabled(self):
+        assert Telemetry.from_spec(None).enabled is False
