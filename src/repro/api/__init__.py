@@ -18,10 +18,13 @@ Specs round-trip through dicts and JSON (``RunSpec.from_dict``, ``.to_json``,
 
 from repro.api.engine import COLLECTIVE_KEYS, Engine, RunReport
 from repro.api.registries import (
+    DATAPIPE_REGISTRY,
     DEVICE_REGISTRY,
     SERVING_REGISTRY,
+    DataPipeKind,
     DeviceKind,
     ServingKind,
+    build_pipe_config,
     build_serving,
     build_trainer,
     trainer_registry,
@@ -31,6 +34,7 @@ from repro.api.spec import (
     INTERCONNECT_KINDS,
     PIPAD_FIELDS,
     SERVING_KINDS,
+    DataSpec,
     DeviceSpec,
     RunSpec,
     ServingSpec,
@@ -40,8 +44,11 @@ from repro.api.spec import (
 
 __all__ = [
     "COLLECTIVE_KEYS",
+    "DATAPIPE_REGISTRY",
     "DEVICE_KINDS",
     "DEVICE_REGISTRY",
+    "DataPipeKind",
+    "DataSpec",
     "DeviceKind",
     "DeviceSpec",
     "Engine",
@@ -55,6 +62,7 @@ __all__ = [
     "ServingSpec",
     "TelemetrySpec",
     "TraceSpec",
+    "build_pipe_config",
     "build_serving",
     "build_trainer",
     "trainer_registry",

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api.engine import Engine
 from repro.api.registries import (
+    DATAPIPE_REGISTRY,
     DEVICE_REGISTRY,
     SERVING_REGISTRY,
     trainer_registry,
@@ -87,6 +88,7 @@ PRESETS: Dict[str, Dict[str, Any]] = {
             "interconnect": "nvlink",
             "schedule": "round_robin",
         },
+        "data": {"pipeline": "staged", "prefetch_depth": 2, "pin_memory": True},
     },
     "sharded-serving": {
         "dataset": "covid19_england",
@@ -176,6 +178,7 @@ def _summary_json(summary: Dict[str, Any]) -> str:
 
 # ------------------------------------------------------------------ subcommands
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.core.datapipe import STAGE_REGISTRY
     from repro.experiments import list_experiments
     from repro.graph.datasets import DATASET_ORDER
     from repro.nn import MODEL_ORDER
@@ -188,6 +191,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "methods": sorted(trainer_registry()),
         "device_kinds": {k: v.description for k, v in DEVICE_REGISTRY.items()},
         "serving_kinds": {k: v.description for k, v in SERVING_REGISTRY.items()},
+        "datapipes": {k: v.description for k, v in DATAPIPE_REGISTRY.items()},
+        "datapipe_stages": dict(STAGE_REGISTRY),
         "experiments": list_experiments(),
         "presets": sorted(PRESETS),
         "telemetry_callbacks": dict(CALLBACK_REGISTRY),

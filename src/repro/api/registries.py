@@ -1,6 +1,6 @@
 """Unified registries the engine resolves specs through.
 
-Four registries cover the whole construction space:
+Five registries cover the whole construction space:
 
 - the **trainer registry** (owned by :mod:`repro.baselines`; re-exposed here)
   maps method names to trainer classes — ``pygt``/``pygt-a``/``pygt-r``/
@@ -14,7 +14,11 @@ Four registries cover the whole construction space:
 - :data:`SERVING_REGISTRY` maps a serving topology kind to the builder that
   wires the online engine (``local`` → one
   :class:`~repro.serving.scheduler.ServingScheduler`, ``sharded`` →
-  :class:`~repro.distributed.serving.ShardedServingEngine`).
+  :class:`~repro.distributed.serving.ShardedServingEngine`);
+- :data:`DATAPIPE_REGISTRY` maps a data-pipeline variant (``staged`` /
+  ``monolithic``) to its stage composition and the builder that materializes
+  the :class:`~repro.core.datapipe.DataPipeConfig` every trainer and serving
+  replica consumes (``RunSpec.data`` resolves through it).
 
 Every builder takes ``(spec, graph, ...)`` so new topologies plug in by
 registration instead of another bespoke construction path.
@@ -43,11 +47,57 @@ def list_methods() -> List[str]:
     return sorted(trainer_registry())
 
 
+# ------------------------------------------------------------------ datapipe
+@dataclass(frozen=True)
+class DataPipeKind:
+    """One data-pipeline variant the engine can resolve ``RunSpec.data`` onto."""
+
+    name: str
+    description: str
+    #: stage names in execution order (see ``repro.core.datapipe.STAGE_REGISTRY``)
+    stages: tuple
+    build: Callable[[RunSpec], "DataPipeConfig"]  # noqa: F821 - forward ref
+
+
+def _datapipe_registry() -> Dict[str, DataPipeKind]:
+    from repro.core.datapipe import DATAPIPE_VARIANTS
+
+    descriptions = {
+        "staged": (
+            "slice -> gather -> pin -> h2d staged prep with depth-bounded "
+            "prefetching (the default)"
+        ),
+        "monolithic": "legacy accounting: one opaque host op + the transfer",
+    }
+    return {
+        name: DataPipeKind(
+            name,
+            descriptions.get(name, "datapipe variant"),
+            stages,
+            lambda spec: spec.data.to_pipe_config(),
+        )
+        for name, stages in DATAPIPE_VARIANTS.items()
+    }
+
+
+DATAPIPE_REGISTRY: Dict[str, DataPipeKind] = _datapipe_registry()
+
+
+def build_pipe_config(spec: RunSpec) -> "DataPipeConfig":  # noqa: F821
+    """Resolve a spec's data section into the core :class:`DataPipeConfig`."""
+    return DATAPIPE_REGISTRY[spec.data.pipeline].build(spec)
+
+
 # ------------------------------------------------------------------ devices
 def _build_single_device_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrainerBase:
     cls = trainer_registry()[spec.method]
     if spec.method == "pipad":
-        return cls(graph, spec.trainer_config(), pipad_config=spec.pipad_config())
+        return cls(
+            graph,
+            spec.trainer_config(),
+            pipad_config=spec.pipad_config(),
+            data_config=build_pipe_config(spec),
+        )
     return cls(graph, spec.trainer_config())
 
 
@@ -63,6 +113,7 @@ def _build_group_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrainerBase:
             partition_mode=spec.device.partition_mode,
             interconnect=spec.device.interconnect,
         ),
+        data_config=build_pipe_config(spec),
     )
 
 
@@ -78,6 +129,7 @@ def _build_pipeline_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrainerBa
             interconnect=spec.device.interconnect,
             schedule=spec.device.schedule,
         ),
+        data_config=build_pipe_config(spec),
     )
 
 
@@ -116,7 +168,9 @@ def _build_local_serving(
     from repro.serving.scheduler import _build_serving_scheduler
 
     assert spec.serving is not None
-    return _build_serving_scheduler(graph, model, spec.serving.to_serving_config())
+    return _build_serving_scheduler(
+        graph, model, spec.serving.to_serving_config(), data=build_pipe_config(spec)
+    )
 
 
 def _build_sharded_serving(
@@ -126,7 +180,11 @@ def _build_sharded_serving(
 
     assert spec.serving is not None
     return build_sharded_serving_engine(
-        graph, model, spec.serving.num_shards, spec.serving.to_serving_config()
+        graph,
+        model,
+        spec.serving.num_shards,
+        spec.serving.to_serving_config(),
+        data=build_pipe_config(spec),
     )
 
 
@@ -171,12 +229,15 @@ def build_serving(
 
 
 __all__ = [
+    "DATAPIPE_REGISTRY",
     "DATASET_ORDER",
     "DEVICE_REGISTRY",
+    "DataPipeKind",
     "DeviceKind",
     "MODEL_REGISTRY",
     "SERVING_REGISTRY",
     "ServingKind",
+    "build_pipe_config",
     "build_serving",
     "build_trainer",
     "list_methods",

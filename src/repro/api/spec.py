@@ -207,6 +207,59 @@ class TelemetrySpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class DataSpec(_SpecBase):
+    """Data-pipeline section of a run: stage composition and prefetching.
+
+    Declares how partition data moves from host memory onto the device —
+    which staged pipeline variant runs (``repro.core.datapipe.
+    DATAPIPE_VARIANTS``), how many items the :class:`~repro.core.datapipe.
+    Prefetcher` may prepare ahead of the one currently computing, and whether
+    transfers stage through page-locked memory.  The engine resolves this
+    through ``repro.api.registries.DATAPIPE_REGISTRY`` into the
+    :class:`~repro.core.datapipe.DataPipeConfig` every trainer and serving
+    replica shares.  Scheduling-only: losses and predictions are identical
+    for every setting.
+    """
+
+    #: pipeline variant (``"staged"`` or the legacy ``"monolithic"``)
+    pipeline: str = "staged"
+    #: max items prepared ahead of the one computing; 0 fully serializes
+    prefetch_depth: int = 2
+    #: stage transfers through page-locked memory (adds the ``pin`` stage;
+    #: unpinned transfers pay the PCIe pageable penalty instead)
+    pin_memory: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.core.datapipe import DATAPIPE_VARIANTS
+
+        if self.pipeline not in DATAPIPE_VARIANTS:
+            raise ValueError(
+                f"unknown datapipe pipeline {self.pipeline!r}; valid pipelines: "
+                f"{_known_choices(DATAPIPE_VARIANTS)}"
+            )
+        if not isinstance(self.prefetch_depth, int) or isinstance(
+            self.prefetch_depth, bool
+        ):
+            raise ValueError(
+                f"prefetch_depth must be an int, got {self.prefetch_depth!r}"
+            )
+        if self.prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be >= 0, got {self.prefetch_depth}"
+            )
+
+    def to_pipe_config(self) -> "DataPipeConfig":  # noqa: F821 - forward ref
+        """Materialize the core-level :class:`DataPipeConfig`."""
+        from repro.core.datapipe import DataPipeConfig
+
+        return DataPipeConfig(
+            pipeline=self.pipeline,
+            prefetch_depth=self.prefetch_depth,
+            pin_memory=self.pin_memory,
+        )
+
+
+@dataclass(frozen=True)
 class ServingSpec(_SpecBase):
     """Online-serving section of a run: engine topology + scheduler knobs."""
 
@@ -278,6 +331,8 @@ class RunSpec(_SpecBase):
     #: :class:`PiPADConfig` overrides (only consulted by PiPAD-family methods)
     pipad: Dict[str, Any] = field(default_factory=dict)
     device: DeviceSpec = field(default_factory=DeviceSpec)
+    #: data pipeline: stage composition, prefetch depth, pinning
+    data: DataSpec = field(default_factory=DataSpec)
     #: optional online-serving phase; ``None`` means a training-only run
     serving: Optional[ServingSpec] = None
     #: observability: exporters + callback sinks (enabled by default)
@@ -292,6 +347,8 @@ class RunSpec(_SpecBase):
         # form ``RunSpec(device={"kind": "group", ...})``).
         if isinstance(self.device, Mapping):
             object.__setattr__(self, "device", DeviceSpec.from_dict(self.device))
+        if isinstance(self.data, Mapping):
+            object.__setattr__(self, "data", DataSpec.from_dict(self.data))
         if isinstance(self.serving, Mapping):
             object.__setattr__(self, "serving", ServingSpec.from_dict(self.serving))
         if isinstance(self.telemetry, Mapping):
@@ -381,6 +438,7 @@ class RunSpec(_SpecBase):
 #: (owner class name, field name) -> nested spec class, for ``from_dict``
 _NESTED_SPECS: Dict[Tuple[str, str], type] = {
     ("RunSpec", "device"): DeviceSpec,
+    ("RunSpec", "data"): DataSpec,
     ("RunSpec", "serving"): ServingSpec,
     ("RunSpec", "telemetry"): TelemetrySpec,
     ("ServingSpec", "trace"): TraceSpec,

@@ -3,6 +3,15 @@
 from repro.core.config import PiPADConfig
 from repro.core.slicer import GraphSlicer
 from repro.core.data_prep import DataPreparer, PartitionData
+from repro.core.datapipe import (
+    DATAPIPE_VARIANTS,
+    DataPipe,
+    DataPipeConfig,
+    PipeItem,
+    Prefetcher,
+    STAGE_REGISTRY,
+    build_datapipe,
+)
 from repro.core.reuse import ReuseManager
 from repro.core.parallel_gnn import ParallelAggregationProvider
 from repro.core.tuner import (
@@ -21,6 +30,13 @@ __all__ = [
     "GraphSlicer",
     "DataPreparer",
     "PartitionData",
+    "DATAPIPE_VARIANTS",
+    "DataPipe",
+    "DataPipeConfig",
+    "PipeItem",
+    "Prefetcher",
+    "STAGE_REGISTRY",
+    "build_datapipe",
     "ReuseManager",
     "ParallelAggregationProvider",
     "DynamicTuner",

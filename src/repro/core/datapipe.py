@@ -1,0 +1,361 @@
+"""Staged data pipeline with transparent, depth-bounded prefetching.
+
+The monolithic :class:`~repro.core.data_prep.DataPreparer` path scheduled
+one opaque ``host_prep`` op and one H2D transfer per partition; this module
+decomposes that into composable stages —
+
+    slice  →  gather  →  pin  →  h2d
+
+(``slice`` builds the partition's batched index structures, ``gather``
+collects the feature/adjacency rows into one contiguous staging buffer,
+``pin`` copies it into page-locked memory, ``h2d`` crosses the PCIe link) —
+and adds a :class:`Prefetcher` that schedules item ``i``'s host stages while
+item ``i - 1`` (.. ``i - depth``) still computes, the GraphBolt-style
+bounded prefetch buffer.  Only timeline accounting changes: the numerics
+(:class:`~repro.core.data_prep.PartitionData` and everything downstream)
+are untouched, so losses and serving outputs stay bit-identical to the
+monolithic path.
+
+Depth semantics on the deterministic list-scheduler: the first host stage
+of item ``i`` depends on the *consumption* op (the kernels that read the
+transferred data) of item ``i - depth - 1``, so at most ``depth`` items are
+prepared ahead of the one currently computing.  ``depth == 0`` reproduces
+fully serialized prep — item ``i``'s slice cannot start until item
+``i - 1``'s kernels finished — which is also what the ``enable_pipeline``
+ablation switch forces.
+
+Depth 0 additionally models the *single* synchronous host thread: without
+prefetch workers, one Python loop prepares every item in program order —
+across all of a trainer's devices.  All prefetchers sharing a
+:class:`DataPipe` (one per pipeline stage, per distributed shard) therefore
+chain their depth-0 host stages through ``DataPipe.last_host_op`` and gate
+them on ``DataPipe.last_consumed_op``, the most recent consumption anywhere
+in the trainer: the loop only reaches item ``i``'s prep after the kernels
+reading item ``i - 1`` — possibly on a different device — were launched.
+With ``depth >= 1`` each device gets its own prefetch worker, so host
+stages serialize (and the depth bound counts) per device only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.data_prep import DataPreparer, PartitionData
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.spec import HostSpec
+from repro.gpu.timeline import TimelineOp
+from repro.graph.overlap import SnapshotOverlap
+from repro.graph.sliced_csr import DEFAULT_SLICE_CAPACITY
+from repro.graph.snapshot import GraphSnapshot
+from repro.telemetry.hooks import NULL_CALLBACK, TelemetryCallback
+
+#: canonical stage names, in execution order
+STAGE_SLICE = "slice"
+STAGE_GATHER = "gather"
+STAGE_PIN = "pin"
+STAGE_H2D = "h2d"
+
+#: stage name -> human description (``python -m repro list`` shows these)
+STAGE_REGISTRY: Dict[str, str] = {
+    STAGE_SLICE: "build the partition's batched index structures (host)",
+    STAGE_GATHER: "gather feature/adjacency rows into one staging buffer (host)",
+    STAGE_PIN: "copy the staging buffer into page-locked memory (host)",
+    STAGE_H2D: "ship the staged partition across the PCIe link (copy engine)",
+}
+
+#: pipeline variant -> ordered stage tuple.  ``monolithic`` is the legacy
+#: accounting (one opaque host op + the transfer); ``staged`` is the default.
+DATAPIPE_VARIANTS: Dict[str, Tuple[str, ...]] = {
+    "staged": (STAGE_SLICE, STAGE_GATHER, STAGE_PIN, STAGE_H2D),
+    "monolithic": (STAGE_SLICE, STAGE_H2D),
+}
+
+
+@dataclass(frozen=True)
+class DataPipeConfig:
+    """Plain-data configuration of the staged datapipe.
+
+    The API layer's ``DataSpec`` converts to this (``to_pipe_config``) so the
+    core never imports :mod:`repro.api`.
+    """
+
+    #: pipeline variant (key of :data:`DATAPIPE_VARIANTS`)
+    pipeline: str = "staged"
+    #: max items prepared ahead of the one currently computing; 0 serializes
+    prefetch_depth: int = 2
+    #: stage the transfer through page-locked memory (adds the ``pin`` stage;
+    #: unpinned transfers pay the PCIe pageable penalty instead)
+    pin_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pipeline not in DATAPIPE_VARIANTS:
+            raise ValueError(
+                f"unknown datapipe pipeline {self.pipeline!r}; valid: "
+                f"{', '.join(sorted(DATAPIPE_VARIANTS))}"
+            )
+        if not isinstance(self.prefetch_depth, int) or isinstance(self.prefetch_depth, bool):
+            raise ValueError(
+                f"prefetch_depth must be an int, got {self.prefetch_depth!r}"
+            )
+        if self.prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be >= 0, got {self.prefetch_depth}"
+            )
+
+
+@dataclass(frozen=True)
+class PipeItem:
+    """One unit of work flowing through the pipe: a partition's movable data."""
+
+    #: label suffix for the scheduled ops (e.g. ``"p3"`` or ``"b7"``)
+    label: str
+    #: snapshots in the partition (drives the per-snapshot slice cost)
+    num_snapshots: int
+    #: host→device bytes after cache/residency accounting
+    transfer_bytes: float
+    #: scales the ``slice`` stage only (distributed shards index a fraction
+    #: of the nodes; ``gather``/``pin`` already follow the sharded bytes)
+    slice_scale: float = 1.0
+
+
+class DataPipe:
+    """Composable stage pipeline over a :class:`DataPreparer`.
+
+    Owns the preparer (partition construction + cache) and knows the analytic
+    cost of every stage; the :class:`Prefetcher` turns those costs into
+    timeline ops on a concrete device.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DataPipeConfig] = None,
+        host: Optional[HostSpec] = None,
+        *,
+        preparer: Optional[DataPreparer] = None,
+        slice_capacity: int = DEFAULT_SLICE_CAPACITY,
+        use_sliced_csr: bool = True,
+    ) -> None:
+        self.config = config or DataPipeConfig()
+        self.host = host or HostSpec()
+        self.preparer = preparer or DataPreparer(
+            slice_capacity, self.host, use_sliced_csr=use_sliced_csr
+        )
+        stages = DATAPIPE_VARIANTS[self.config.pipeline]
+        if not self.config.pin_memory:
+            stages = tuple(s for s in stages if s != STAGE_PIN)
+        self.stages: Tuple[str, ...] = stages
+        #: last host-stage op of the synchronous (depth-0) path; depth-0
+        #: prefetchers sharing this pipe chain their host stages through it,
+        #: modelling the one host thread that prepares items in program order
+        self.last_host_op: Optional[TimelineOp] = None
+        #: most recent consumption op across every prefetcher of this pipe;
+        #: the depth-0 gate, since the synchronous loop only reaches item
+        #: ``i``'s prep after item ``i - 1``'s kernels (any device) ran
+        self.last_consumed_op: Optional[TimelineOp] = None
+
+    # ------------------------------------------------------------------ partitions
+    def partition(self, snapshots: Sequence[GraphSnapshot]) -> PartitionData:
+        """Prepare (or fetch from cache) one snapshot group's partition data."""
+        return self.preparer._prepare(snapshots)
+
+    def partition_frame(
+        self, snapshots: Sequence[GraphSnapshot], s_per: int
+    ) -> List[PartitionData]:
+        """Prepare every partition of a frame at parallelism ``s_per``."""
+        return self.preparer.prepare_frame(snapshots, s_per)
+
+    def partition_from_decomposition(
+        self, snapshots: Sequence[GraphSnapshot], overlap: SnapshotOverlap
+    ) -> PartitionData:
+        """Serving path: build partition data from a maintained decomposition."""
+        return self.preparer.prepare_from_decomposition(snapshots, overlap)
+
+    # ------------------------------------------------------------------ stage costs
+    @property
+    def host_stages(self) -> Tuple[str, ...]:
+        return tuple(s for s in self.stages if s != STAGE_H2D)
+
+    @property
+    def pinned(self) -> bool:
+        return self.config.pin_memory
+
+    def stage_seconds(self, stage: str, item: PipeItem) -> float:
+        """Analytic host seconds of one host stage for one item."""
+        if stage == STAGE_SLICE:
+            return item.num_snapshots * self.host.snapshot_prep_us * 1e-6 * item.slice_scale
+        if stage == STAGE_GATHER:
+            return item.transfer_bytes / (self.host.gather_bandwidth_gbs * 1e9)
+        if stage == STAGE_PIN:
+            return item.transfer_bytes / (self.host.pin_bandwidth_gbs * 1e9)
+        raise ValueError(f"{stage!r} is not a host stage of this pipe")
+
+    def host_seconds(self, item: PipeItem) -> float:
+        """Total host-side seconds of one item across all host stages."""
+        return sum(self.stage_seconds(s, item) for s in self.host_stages)
+
+
+class Prefetcher:
+    """Depth-bounded scheduler of pipe items onto one simulated device.
+
+    One prefetcher per device: the single-device trainer owns one, the
+    pipeline trainer one per stage, the distributed trainer one per shard and
+    the serving scheduler one per replica.  ``schedule`` lays the item's host
+    stages on the CPU stream and its transfer on the copy engine, gated so at
+    most ``depth`` items sit prepared-but-unconsumed; ``mark_consumed``
+    registers the compute op that read the item, releasing the oldest slot.
+    """
+
+    def __init__(
+        self,
+        pipe: DataPipe,
+        device: SimulatedGPU,
+        *,
+        depth: Optional[int] = None,
+        device_index: int = 0,
+        domain: str = "train",
+        hooks: Optional[Callable[[], TelemetryCallback]] = None,
+    ) -> None:
+        self.pipe = pipe
+        self.device = device
+        self.depth = pipe.config.prefetch_depth if depth is None else depth
+        if self.depth < 0:
+            raise ValueError(f"prefetch depth must be >= 0, got {self.depth}")
+        self.device_index = device_index
+        self.domain = domain
+        #: zero-arg provider so hook reattachment (the engine swaps
+        #: ``trainer.hooks`` after construction) is picked up live
+        self._hooks = hooks if hooks is not None else (lambda: NULL_CALLBACK)
+        #: consumption op of each scheduled item, in schedule order
+        self._consumed: List[Optional[TimelineOp]] = []
+        self._scheduled = 0
+        self.items_scheduled = 0
+        self.host_seconds_total = 0.0
+
+    # ------------------------------------------------------------------ gating
+    def _overlapping(self) -> bool:
+        return self.depth > 0
+
+    def _gate_ops(self) -> List[TimelineOp]:
+        """Ops the next item's first host stage must wait for.
+
+        Item ``i`` may start preparing while item ``i - 1`` .. ``i - depth``
+        compute, so it waits for item ``i - depth - 1``'s consumption.  With
+        depth 0 that collapses to "wait for the previous item's kernels".
+        """
+        index = self._scheduled - self.depth - 1
+        if 0 <= index < len(self._consumed):
+            op = self._consumed[index]
+            return [op] if op is not None else []
+        return []
+
+    # ------------------------------------------------------------------ scheduling
+    def schedule(
+        self,
+        item: PipeItem,
+        *,
+        depends_on: Optional[Sequence[TimelineOp]] = None,
+        not_before: float = 0.0,
+    ) -> List[TimelineOp]:
+        """Lay one item's stages on the device timeline; returns the h2d op.
+
+        ``depends_on`` gates the first host stage (the serving path passes
+        the delta op that produced the window state); ``not_before`` pins the
+        earliest start (batch formation time).
+        """
+        host_stream = "cpu" if self._overlapping() else "default"
+        copy_stream = "copy" if self._overlapping() else "default"
+        hooks = self._hooks()
+        gate = self._gate_ops() + (list(depends_on) if depends_on else [])
+        if not self._overlapping():
+            # One synchronous host thread: chain behind the previous item's
+            # host stages and behind the latest consumption, even when both
+            # happened on a different device of the same trainer.
+            gate = gate + [
+                op
+                for op in (self.pipe.last_host_op, self.pipe.last_consumed_op)
+                if op is not None
+            ]
+        previous: List[TimelineOp] = gate
+        for stage in self.pipe.host_stages:
+            seconds = self.pipe.stage_seconds(stage, item)
+            self.host_seconds_total += seconds
+            op = self.device.host_op(
+                seconds,
+                label=f"{stage}_{item.label}",
+                stream=host_stream,
+                depends_on=previous or None,
+                not_before=not_before,
+            )
+            hooks.on_prefetch(
+                stage, item.label, self.device_index, op.start, op.end, self.domain
+            )
+            previous = [op]
+            if not self._overlapping():
+                self.pipe.last_host_op = op
+        transfer = self.device.transfer_h2d(
+            item.transfer_bytes,
+            label=f"h2d_{item.label}",
+            stream=copy_stream,
+            pinned=self.pipe.pinned,
+            depends_on=previous or None,
+            not_before=not_before,
+        )
+        hooks.on_prefetch(
+            STAGE_H2D, item.label, self.device_index, transfer.start, transfer.end, self.domain
+        )
+        self._consumed.append(None)  # slot; filled by mark_consumed in order
+        self._scheduled += 1
+        self.items_scheduled += 1
+        return [transfer]
+
+    def mark_consumed(self, ops: Sequence[TimelineOp]) -> None:
+        """Register the compute op that read the oldest unconsumed item."""
+        if ops:
+            self.pipe.last_consumed_op = ops[-1]
+        try:
+            index = self._consumed.index(None)
+        except ValueError:
+            return  # nothing outstanding: consumption of an unscheduled item
+        self._consumed[index] = ops[-1] if ops else self._consumed[index - 1] if index else None
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def in_flight(self) -> int:
+        """Items scheduled but not yet marked consumed."""
+        return sum(1 for op in self._consumed if op is None)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "prefetch_depth": float(self.depth),
+            "prefetch_items": float(self.items_scheduled),
+            "prefetch_host_seconds": self.host_seconds_total,
+        }
+
+
+def build_datapipe(
+    config: Optional[DataPipeConfig] = None,
+    host: Optional[HostSpec] = None,
+    *,
+    slice_capacity: int = DEFAULT_SLICE_CAPACITY,
+    use_sliced_csr: bool = True,
+) -> DataPipe:
+    """The datapipe builder: one :class:`DataPipe` with its own preparer."""
+    return DataPipe(
+        config, host, slice_capacity=slice_capacity, use_sliced_csr=use_sliced_csr
+    )
+
+
+__all__ = [
+    "DATAPIPE_VARIANTS",
+    "DataPipe",
+    "DataPipeConfig",
+    "PipeItem",
+    "Prefetcher",
+    "STAGE_GATHER",
+    "STAGE_H2D",
+    "STAGE_PIN",
+    "STAGE_REGISTRY",
+    "STAGE_SLICE",
+    "build_datapipe",
+]

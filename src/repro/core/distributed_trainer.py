@@ -33,6 +33,7 @@ import numpy as np
 from repro.baselines.base import TrainerConfig
 from repro.baselines.results import TrainingResult
 from repro.core.config import PiPADConfig
+from repro.core.datapipe import DataPipeConfig, PipeItem, Prefetcher
 from repro.core.trainer import PiPADTrainer
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.device_group import DeviceGroup
@@ -126,9 +127,10 @@ class DistributedTrainer(PiPADTrainer):
         config: Optional[TrainerConfig] = None,
         pipad_config: Optional[PiPADConfig] = None,
         dist_config: Optional[DistributedConfig] = None,
+        data_config: Optional[DataPipeConfig] = None,
     ) -> None:
         self.dist = dist_config or DistributedConfig()
-        super().__init__(graph, config, pipad_config)
+        super().__init__(graph, config, pipad_config, data_config)
         devices: List[SimulatedGPU] = [self.device]
         devices += [
             SimulatedGPU(
@@ -146,6 +148,15 @@ class DistributedTrainer(PiPADTrainer):
         self.partitioner = GraphPartitioner(
             self.dist.num_devices, mode=self.dist.partition_mode
         )
+        #: one prefetcher per shard: each device preps/ships its own node
+        #: range.  Shard 0 reuses the single-device prefetcher so gating
+        #: state stays in one place.
+        self.prefetchers: List[Prefetcher] = [self.prefetcher] + [
+            Prefetcher(
+                self.datapipe, dev, device_index=index, hooks=lambda: self.hooks
+            )
+            for index, dev in enumerate(devices[1:], start=1)
+        ]
         # Cheap provisional plan; _run_preprocessing replans (and computes the
         # halo/edge statistics, an O(devices x snapshots x edges) sharding
         # pass) right before the first steady-state frame can consume them.
@@ -244,27 +255,19 @@ class DistributedTrainer(PiPADTrainer):
         if self._preparing:
             return super()._transfer_partition(snapshots, depends_on)
         total_bytes = self._partition_transfer_bytes(snapshots)
-        prep_seconds = self._host_prep_seconds(snapshots)
-        host_stream = "cpu"
-        copy_stream = "copy" if self.pipad.enable_pipeline else "default"
         transfer_ops: List[List[TimelineOp]] = []
         halo_bytes: List[float] = []
         for index, device in enumerate(self.group.devices):
             fraction = max(float(self._node_fractions[index]), _MIN_FRACTION)
-            host_op = device.host_op(
-                prep_seconds * fraction,
-                label="host_prep",
-                stream=host_stream,
+            item = PipeItem(
+                label=f"p{snapshots[0].timestep}",
+                num_snapshots=len(snapshots),
+                transfer_bytes=total_bytes * fraction,
+                slice_scale=fraction,
             )
-            deps = [host_op] if depends_on is None else [host_op, *depends_on]
-            transfer = device.transfer_h2d(
-                total_bytes * fraction,
-                label=f"h2d_p{snapshots[0].timestep}",
-                stream=copy_stream,
-                pinned=self.pipad.enable_pipeline,
-                depends_on=deps,
+            transfer_ops.append(
+                self.prefetchers[index].schedule(item, depends_on=depends_on)
             )
-            transfer_ops.append([transfer])
             halo_bytes.append(self._halo_feature_bytes(index))
         if self.group.num_devices == 1:
             return transfer_ops[0]
@@ -303,6 +306,7 @@ class DistributedTrainer(PiPADTrainer):
                 stream=compute_stream,
                 depends_on=deps,
             )
+            self.prefetchers[index].mark_consumed(ops[-1:])
             per_device_last.append(ops[-1:])
         # The recurrent state of remote nodes feeds the next partition's
         # aggregation, so shard results are all-gathered before moving on.
@@ -363,6 +367,13 @@ class DistributedTrainer(PiPADTrainer):
 
     def _extra_metrics(self) -> Dict[str, float]:
         extras = super()._extra_metrics()
+        if self.group.num_devices > 1:
+            extras["prefetch_items"] = float(
+                sum(p.items_scheduled for p in self.prefetchers)
+            )
+            extras["prefetch_host_seconds"] = sum(
+                p.host_seconds_total for p in self.prefetchers
+            )
         extras["num_devices"] = float(self.group.num_devices)
         extras["halo_feature_bytes"] = self._halo_bytes_total
         for kind, seconds in self.group.collective_seconds.items():

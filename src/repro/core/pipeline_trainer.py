@@ -45,6 +45,7 @@ import numpy as np
 from repro.baselines.base import TrainerConfig
 from repro.baselines.results import TrainingResult
 from repro.core.config import PiPADConfig
+from repro.core.datapipe import DataPipeConfig, PipeItem, Prefetcher
 from repro.core.distributed_trainer import aggregate_group_result
 from repro.core.trainer import PiPADTrainer
 from repro.gpu.device import SimulatedGPU
@@ -88,9 +89,10 @@ class PipelineTrainer(PiPADTrainer):
         config: Optional[TrainerConfig] = None,
         pipad_config: Optional[PiPADConfig] = None,
         pipe_config: Optional[PipelineConfig] = None,
+        data_config: Optional[DataPipeConfig] = None,
     ) -> None:
         self.pipe = pipe_config or PipelineConfig()
-        super().__init__(graph, config, pipad_config)
+        super().__init__(graph, config, pipad_config, data_config)
         devices: List[SimulatedGPU] = [self.device]
         devices += [
             SimulatedGPU(
@@ -107,6 +109,15 @@ class PipelineTrainer(PiPADTrainer):
         self.frame_partitioner = FramePartitioner(
             self.pipe.num_devices, schedule=self.pipe.schedule
         )
+        #: one prefetcher per pipeline stage: each stage prefetches its own
+        #: groups' slices on its own PCIe link / host stream.  Stage 0 reuses
+        #: the single-device prefetcher so gating state stays in one place.
+        self.prefetchers: List[Prefetcher] = [self.prefetcher] + [
+            Prefetcher(
+                self.datapipe, dev, device_index=index, hooks=lambda: self.hooks
+            )
+            for index, dev in enumerate(devices[1:], start=1)
+        ]
         self._gradient_bytes = float(
             sum(p.data.nbytes for p in self.model.parameters())
         )
@@ -173,20 +184,13 @@ class PipelineTrainer(PiPADTrainer):
     ) -> List[TimelineOp]:
         if not self._pipelined():
             return super()._transfer_partition(snapshots, depends_on)
-        device = self.group.devices[int(self._assignment[self._group_index])]
-        host_op = device.host_op(
-            self._host_prep_seconds(snapshots), label="host_prep", stream="cpu"
+        stage = int(self._assignment[self._group_index])
+        item = PipeItem(
+            label=f"p{snapshots[0].timestep}",
+            num_snapshots=len(snapshots),
+            transfer_bytes=self._partition_transfer_bytes(snapshots),
         )
-        nbytes = self._partition_transfer_bytes(snapshots)
-        stream = "copy" if self.pipad.enable_pipeline else "default"
-        transfer = device.transfer_h2d(
-            nbytes,
-            label=f"h2d_p{snapshots[0].timestep}",
-            stream=stream,
-            pinned=self.pipad.enable_pipeline,
-            depends_on=[host_op] if depends_on is None else [host_op, *depends_on],
-        )
-        return [transfer]
+        return self.prefetchers[stage].schedule(item, depends_on=depends_on)
 
     def _launch_partition_kernels(
         self,
@@ -243,6 +247,7 @@ class PipelineTrainer(PiPADTrainer):
         if last:
             self._state_op = last[-1]
             self._state_device = stage
+        self.prefetchers[stage].mark_consumed(last[-1:])
         self._group_index += 1
         return last[-1:]
 
@@ -370,6 +375,13 @@ class PipelineTrainer(PiPADTrainer):
 
     def _extra_metrics(self) -> Dict[str, float]:
         extras = super()._extra_metrics()
+        if self.group.num_devices > 1:
+            extras["prefetch_items"] = float(
+                sum(p.items_scheduled for p in self.prefetchers)
+            )
+            extras["prefetch_host_seconds"] = sum(
+                p.host_seconds_total for p in self.prefetchers
+            )
         extras["num_devices"] = float(self.group.num_devices)
         extras["pipeline_bubble_seconds"] = self._bubble_seconds
         for kind, seconds in self.group.collective_seconds.items():

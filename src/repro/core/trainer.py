@@ -26,6 +26,7 @@ partition-parallel schedule.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,7 +34,8 @@ import numpy as np
 from repro.baselines.base import DGNNTrainerBase, TrainerConfig
 from repro.baselines.results import EpochMetrics
 from repro.core.config import PiPADConfig
-from repro.core.data_prep import DataPreparer, PartitionData
+from repro.core.data_prep import PartitionData
+from repro.core.datapipe import DataPipe, DataPipeConfig, PipeItem, Prefetcher
 from repro.core.parallel_gnn import ParallelAggregationProvider
 from repro.core.reuse import ReuseManager
 from repro.core.slicer import GraphSlicer
@@ -63,6 +65,7 @@ class PiPADTrainer(DGNNTrainerBase):
         graph: DynamicGraph,
         config: Optional[TrainerConfig] = None,
         pipad_config: Optional[PiPADConfig] = None,
+        data_config: Optional[DataPipeConfig] = None,
     ) -> None:
         self.pipad = pipad_config or PiPADConfig()
         # Mirror the ablation switches onto the knobs the base class reads.
@@ -78,8 +81,21 @@ class PiPADTrainer(DGNNTrainerBase):
         )
         self.cache = self.reuse if self.pipad.enable_inter_frame_reuse else None
         self.slicer = GraphSlicer(self.pipad.slice_capacity, self.config.host)
-        self.preparer = DataPreparer(
-            self.pipad.slice_capacity, self.config.host, use_sliced_csr=self.pipad.use_sliced_csr
+        data = data_config or DataPipeConfig()
+        if not self.pipad.enable_pipeline:
+            # The ablation switch keeps its meaning: no pipeline means fully
+            # serialized, unpinned prep — regardless of the declared depth.
+            data = dataclasses.replace(data, prefetch_depth=0, pin_memory=False)
+        self.data = data
+        self.datapipe = DataPipe(
+            data,
+            self.config.host,
+            slice_capacity=self.pipad.slice_capacity,
+            use_sliced_csr=self.pipad.use_sliced_csr,
+        )
+        self.preparer = self.datapipe.preparer
+        self.prefetcher = Prefetcher(
+            self.datapipe, self.device, hooks=lambda: self.hooks
         )
         candidates = self._candidate_s_per()
         self.tuner = DynamicTuner(
@@ -206,7 +222,7 @@ class PiPADTrainer(DGNNTrainerBase):
     def _make_provider(self, snapshots: Sequence[GraphSnapshot]):
         if self._preparing:
             return super()._make_provider(snapshots)
-        partition = self.preparer.prepare(snapshots)
+        partition = self.datapipe.partition(snapshots)
         return ParallelAggregationProvider(
             partition,
             spec=self.config.gpu,
@@ -237,7 +253,7 @@ class PiPADTrainer(DGNNTrainerBase):
         self.reuse.plan_gpu_residency(timesteps, {t: agg_bytes for t in timesteps})
 
     def _partition_transfer_bytes(self, snapshots: Sequence[GraphSnapshot]) -> float:
-        partition = self.preparer.prepare(snapshots)
+        partition = self.datapipe.partition(snapshots)
         nbytes = 0.0
         topology_needed = False
         for snapshot in snapshots:
@@ -263,19 +279,28 @@ class PiPADTrainer(DGNNTrainerBase):
     ) -> List[TimelineOp]:
         if self._preparing:
             return super()._transfer_partition(snapshots, depends_on)
-        host_op = self.device.host_op(
-            self._host_prep_seconds(snapshots), label="host_prep", stream="cpu"
+        item = PipeItem(
+            label=f"p{snapshots[0].timestep}",
+            num_snapshots=len(snapshots),
+            transfer_bytes=self._partition_transfer_bytes(snapshots),
         )
-        nbytes = self._partition_transfer_bytes(snapshots)
-        stream = "copy" if self.pipad.enable_pipeline else "default"
-        transfer = self.device.transfer_h2d(
-            nbytes,
-            label=f"h2d_p{snapshots[0].timestep}",
-            stream=stream,
-            pinned=self.pipad.enable_pipeline,
-            depends_on=[host_op] if depends_on is None else [host_op, *depends_on],
+        return self.prefetcher.schedule(item, depends_on=depends_on)
+
+    def _launch_partition_kernels(
+        self,
+        costs,
+        snapshots: Sequence[GraphSnapshot],
+        transfer_ops: Sequence[TimelineOp],
+        last_compute: Sequence[TimelineOp],
+    ) -> List[TimelineOp]:
+        ops = super()._launch_partition_kernels(
+            costs, snapshots, transfer_ops, last_compute
         )
-        return [transfer]
+        if not self._preparing:
+            # The last kernel of the partition is what frees the prefetcher's
+            # depth slot: item k+depth+1's host prep may not start before it.
+            self.prefetcher.mark_consumed(ops)
+        return ops
 
     def _compute_stream(self) -> str:
         if self._preparing:
@@ -300,6 +325,7 @@ class PiPADTrainer(DGNNTrainerBase):
         extras: Dict[str, float] = dict(self.reuse.stats()) if self.cache is not None else {}
         extras["slicing_host_seconds"] = self.slicer.total_host_seconds
         extras["extraction_host_seconds"] = self.preparer.total_extraction_seconds
+        extras.update(self.prefetcher.stats())
         if self._tuning_decisions:
             extras["mean_s_per"] = float(np.mean([d.s_per for d in self._tuning_decisions]))
             extras["mean_estimated_speedup"] = float(

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.datapipe import DataPipeConfig
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
 from repro.nn.base_model import DGNNModel
@@ -209,12 +210,13 @@ def build_sharded_serving_engine(
     pcie: Optional[PCIeSpec] = None,
     host: Optional[HostSpec] = None,
     scale: float = 1.0,
+    data: Optional["DataPipeConfig"] = None,
 ) -> ShardedServingEngine:
     """Wire ``num_shards`` serving replicas behind one sharded entry point."""
     check_positive("num_shards", num_shards)
     replicas = [
         _build_serving_scheduler(
-            graph, model, config, gpu=gpu, pcie=pcie, host=host, scale=scale
+            graph, model, config, gpu=gpu, pcie=pcie, host=host, scale=scale, data=data
         )
         for _ in range(num_shards)
     ]

@@ -126,3 +126,9 @@ class HostSpec:
     overlap_extract_ns_per_nnz: float = 4.0
     #: fixed per-snapshot host preparation (batching, indexing) in µs
     snapshot_prep_us: float = 40.0
+    #: sustained host-memory gather throughput (feature/adjacency rows into
+    #: one contiguous staging buffer), GB/s — the ``gather`` datapipe stage
+    gather_bandwidth_gbs: float = 64.0
+    #: sustained pageable→pinned staging-copy throughput, GB/s — the ``pin``
+    #: datapipe stage
+    pin_bandwidth_gbs: float = 32.0

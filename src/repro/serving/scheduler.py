@@ -19,6 +19,7 @@ touched rows rather than to the graph.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import warnings
 from dataclasses import dataclass
@@ -26,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.datapipe import DataPipe, DataPipeConfig, PipeItem, Prefetcher
 from repro.core.reuse import ReuseManager
 from repro.core.tuner import DynamicTuner, FrameProfile, TuningDecision
 from repro.gpu.device import SimulatedGPU
@@ -204,6 +206,7 @@ class ServingScheduler:
         host: Optional[HostSpec] = None,
         scale: float = 1.0,
         dataset: str = "serving",
+        data: Optional[DataPipeConfig] = None,
     ) -> None:
         self.config = config or ServingConfig()
         self.store = store
@@ -211,6 +214,17 @@ class ServingScheduler:
         self.dataset = dataset
         self.scale = scale
         self.device = SimulatedGPU(gpu, pcie, host, use_cuda_graph=self.config.use_cuda_graph)
+        data = data or DataPipeConfig()
+        if not self.config.enable_pipeline:
+            # Serving's ablation switch forces fully serialized, unpinned prep.
+            data = dataclasses.replace(data, prefetch_depth=0, pin_memory=False)
+        self.data = data
+        self.datapipe = DataPipe(
+            data,
+            self.device.host,
+            slice_capacity=self.config.slice_capacity,
+            use_sliced_csr=self.config.use_sliced_csr,
+        )
         self.reuse = ReuseManager(
             self.device,
             enabled=self.config.enable_reuse,
@@ -225,6 +239,10 @@ class ServingScheduler:
             slice_capacity=self.config.slice_capacity,
             use_sliced_csr=self.config.use_sliced_csr,
             enable_weight_reuse=self.config.enable_weight_reuse,
+            preparer=self.datapipe.preparer,
+        )
+        self.prefetcher = Prefetcher(
+            self.datapipe, self.device, domain="serve", hooks=lambda: self.hooks
         )
         candidates = tuple(
             c for c in self.config.s_per_candidates if c <= store.window_capacity
@@ -293,11 +311,13 @@ class ServingScheduler:
         return request.request_id
 
     # ------------------------------------------------------------------ execution
-    def _host_prep_seconds(self) -> float:
+    def _prep_snapshot_count(self) -> int:
+        """Snapshots the datapipe's host stages must touch for one batch
+        (cached window versions skip preparation; at least one is charged)."""
         uncached = sum(
             0 if self.reuse.has_cached(v) else 1 for v in self.store.window_versions()
         )
-        return max(1, uncached) * self.device.host.snapshot_prep_us * 1e-6
+        return max(1, uncached)
 
     def _dispatch_seconds(self, num_launches: int) -> float:
         per_launch_us = (
@@ -314,24 +334,19 @@ class ServingScheduler:
         self.reuse.plan_gpu_residency(versions, {v: agg_bytes for v in versions})
 
         transfer_bytes = self.session.partition_transfer_bytes(decision.s_per)
-        host_stream = "cpu" if self.config.enable_pipeline else "default"
-        copy_stream = "copy" if self.config.enable_pipeline else "default"
         compute_stream = "compute" if self.config.enable_pipeline else "default"
 
-        host_op = self.device.host_op(
-            self._host_prep_seconds(),
-            label=f"prep_b{batch.batch_id}",
-            stream=host_stream,
-            not_before=batch.formed_time,
+        item = PipeItem(
+            label=f"b{batch.batch_id}",
+            num_snapshots=self._prep_snapshot_count(),
+            transfer_bytes=transfer_bytes,
+        )
+        transfer_ops = self.prefetcher.schedule(
+            item,
             depends_on=None if self._last_delta_op is None else [self._last_delta_op],
+            not_before=batch.formed_time,
         )
-        transfer = self.device.transfer_h2d(
-            transfer_bytes,
-            label=f"h2d_b{batch.batch_id}",
-            stream=copy_stream,
-            pinned=self.config.enable_pipeline,
-            depends_on=[host_op],
-        )
+        transfer = transfer_ops[-1]
 
         hits_before = self.reuse.cpu_hits + self.reuse.gpu_hits
         misses_before = self.reuse.misses
@@ -347,6 +362,7 @@ class ServingScheduler:
             stream=compute_stream,
             depends_on=[transfer],
         )
+        self.prefetcher.mark_consumed(kernel_ops[-1:] or [transfer])
         kernel_seconds = sum(c.execution_seconds(self.device.spec) for c in costs)
         self.policy.observe_compute(kernel_seconds, self.store.window_size)
 
@@ -420,6 +436,7 @@ class ServingScheduler:
             extras["mean_s_per"] = float(np.mean([d.s_per for d in self.policy.decisions]))
         extras["rows_patched"] = float(self.session.rows_patched)
         extras["window_overlap_rate"] = self.store.overlap_rate()
+        extras.update(self.prefetcher.stats())
         return ServingReport(
             engine="PiPAD-Serve" if self.config.enable_reuse else "Recompute-Serve",
             model=self.model.name,
@@ -444,6 +461,7 @@ def _build_serving_scheduler(
     pcie: Optional[PCIeSpec] = None,
     host: Optional[HostSpec] = None,
     scale: float = 1.0,
+    data: Optional[DataPipeConfig] = None,
 ) -> ServingScheduler:
     """Wire a store + scheduler for a trained model (engine-internal path)."""
     config = config or ServingConfig()
@@ -454,7 +472,15 @@ def _build_serving_scheduler(
         store = IncrementalSnapshotStore(graph, window=config.window, host=host)
         dataset = graph.name
     return ServingScheduler(
-        model, store, config, gpu=gpu, pcie=pcie, host=host, scale=scale, dataset=dataset
+        model,
+        store,
+        config,
+        gpu=gpu,
+        pcie=pcie,
+        host=host,
+        scale=scale,
+        dataset=dataset,
+        data=data,
     )
 
 

@@ -49,6 +49,7 @@ class InferenceSession:
         slice_capacity: int = DEFAULT_SLICE_CAPACITY,
         use_sliced_csr: bool = True,
         enable_weight_reuse: bool = True,
+        preparer: Optional[DataPreparer] = None,
     ) -> None:
         self.model = model
         self.store = store
@@ -59,7 +60,10 @@ class InferenceSession:
         self.use_sliced_csr = use_sliced_csr
         self.enable_weight_reuse = enable_weight_reuse
         self.context = ExecutionContext(spec=device.spec, scale=scale)
-        self.preparer = DataPreparer(slice_capacity, device.host, use_sliced_csr=use_sliced_csr)
+        # The scheduler passes its datapipe's preparer so both share one cache.
+        self.preparer = preparer or DataPreparer(
+            slice_capacity, device.host, use_sliced_csr=use_sliced_csr
+        )
         #: providers/partitions keyed by (window versions, s_per); cleared on every delta
         self._provider_cache: Dict[Tuple[Tuple[int, ...], int], List[ParallelAggregationProvider]] = {}
         self._partition_cache: Dict[Tuple[Tuple[int, ...], int], List[PartitionData]] = {}

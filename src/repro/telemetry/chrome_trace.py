@@ -54,6 +54,8 @@ _RUN_THREADS: Dict[str, str] = {
 }
 #: thread reserved on each device track for pipeline bubble spans
 _BUBBLE_THREAD = "bubble"
+#: thread reserved on each device track for datapipe prefetch-stage spans
+_PREFETCH_THREAD = "prefetch"
 
 
 @dataclass
@@ -136,12 +138,12 @@ def build_chrome_trace(
             meta(pid, resource, tids[resource])
         track_tids.append(tids)
 
-    def bubble_tid(pid: int) -> int:
+    def device_tid(pid: int, thread: str) -> int:
         tids = track_tids[pid - 1]
-        if _BUBBLE_THREAD not in tids:
-            tids[_BUBBLE_THREAD] = len(tids)
-            meta(pid, _BUBBLE_THREAD, tids[_BUBBLE_THREAD])
-        return tids[_BUBBLE_THREAD]
+        if thread not in tids:
+            tids[thread] = len(tids)
+            meta(pid, thread, tids[thread])
+        return tids[thread]
 
     # -- X events: one per timeline op --------------------------------------
     for index, track in enumerate(tracks):
@@ -165,16 +167,27 @@ def build_chrome_trace(
             )
 
     # -- X events: tracer spans ---------------------------------------------
-    train_track_pids = [i + 1 for i, t in enumerate(tracks) if t.domain == "train"]
+    domain_track_pids: Dict[str, List[int]] = {}
+    for i, t in enumerate(tracks):
+        domain_track_pids.setdefault(t.domain, []).append(i + 1)
+    train_track_pids = domain_track_pids.get("train", [])
     for span in spans:
         offset = offsets.get(span.domain, 0.0)
         args = {key: _jsonable(value) for key, value in sorted(span.attrs.items())}
+        prefetch_pids = domain_track_pids.get(span.domain, [])
         if span.category == "bubble" and train_track_pids:
             # Bubbles belong visually to the stalled stage's device track.
             stage = span.attrs.get("stage", 0)
             stage = stage if isinstance(stage, int) else 0
             pid = train_track_pids[stage % len(train_track_pids)]
-            tid = bubble_tid(pid)
+            tid = device_tid(pid, _BUBBLE_THREAD)
+        elif span.category == "prefetch" and prefetch_pids:
+            # Prefetch stages belong to the preparing device's track, in the
+            # span's own clock domain (train trainers / serve replicas).
+            device = span.attrs.get("device", 0)
+            device = device if isinstance(device, int) else 0
+            pid = prefetch_pids[device % len(prefetch_pids)]
+            tid = device_tid(pid, _PREFETCH_THREAD)
         else:
             pid = _RUN_PID
             tid = run_tid(_RUN_THREADS.get(span.category, "lifecycle"))

@@ -75,6 +75,22 @@ class TelemetryCallback:
     def on_bubble(self, stage: int, start: float, end: float) -> None:
         """A pipeline stage stalled on its cross-stage state dependency."""
 
+    def on_prefetch(
+        self,
+        stage: str,
+        item: str,
+        device_index: int,
+        start: float,
+        end: float,
+        domain: str = "train",
+    ) -> None:
+        """One datapipe stage of one prefetched item was scheduled.
+
+        ``stage`` is a name from ``repro.core.datapipe.STAGE_REGISTRY``;
+        ``domain`` is the clock the timestamps live on (``"train"`` for
+        trainer prefetchers, ``"serve"`` for serving replicas).
+        """
+
     # -- serving (schedulers) -----------------------------------------------
     def on_request(self, record: "RequestRecord") -> None:
         """One serving request completed."""
@@ -177,6 +193,26 @@ class TracingCallback(TelemetryCallback):
             "bubble", start, end, category="bubble", domain="train", stage=stage
         )
 
+    def on_prefetch(
+        self,
+        stage: str,
+        item: str,
+        device_index: int,
+        start: float,
+        end: float,
+        domain: str = "train",
+    ) -> None:
+        self.tracer.record(
+            f"prefetch_{stage}_{item}",
+            start,
+            end,
+            category="prefetch",
+            domain=domain,
+            stage=stage,
+            item=item,
+            device=device_index,
+        )
+
     def on_request(self, record: "RequestRecord") -> None:
         self.tracer.record(
             f"request_{record.request_id}",
@@ -243,6 +279,18 @@ class MetricsCallback(TelemetryCallback):
     def on_bubble(self, stage: int, start: float, end: float) -> None:
         self.registry.counter("pipeline.bubbles").inc()
         self.registry.counter("pipeline.bubble_seconds").inc(end - start)
+
+    def on_prefetch(
+        self,
+        stage: str,
+        item: str,
+        device_index: int,
+        start: float,
+        end: float,
+        domain: str = "train",
+    ) -> None:
+        self.registry.counter(f"prefetch.{stage}.count").inc()
+        self.registry.counter(f"prefetch.{stage}.seconds").inc(end - start)
 
     def on_request(self, record: "RequestRecord") -> None:
         self.registry.counter("serving.requests").inc()

@@ -20,7 +20,8 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for section in ("datasets:", "models:", "methods:", "device_kinds:",
-                        "serving_kinds:", "experiments:", "presets:",
+                        "serving_kinds:", "datapipes:", "datapipe_stages:",
+                        "experiments:", "presets:",
                         "telemetry_callbacks:", "telemetry_exporters:"):
             assert section in out
         assert "pipad" in out
@@ -34,6 +35,9 @@ class TestList:
         assert "table1" in catalogue["experiments"]
         assert "logging" in catalogue["telemetry_callbacks"]
         assert "chrome-trace" in catalogue["telemetry_exporters"]
+        assert {"staged", "monolithic"} <= set(catalogue["datapipes"])
+        # Every stage the list shows is a real stage of the staged variant.
+        assert list(catalogue["datapipe_stages"]) == ["slice", "gather", "pin", "h2d"]
 
 
 class TestSpecLoading:
@@ -74,6 +78,8 @@ class TestSpecLoading:
         assert spec.device.kind == "pipeline"
         assert spec.device.num_devices == 4
         assert spec.pipad["fixed_s_per"] == 2
+        assert spec.data.pipeline == "staged"
+        assert spec.data.prefetch_depth == 2
 
 
 class TestSetCoercion:
@@ -165,6 +171,31 @@ class TestSetCoercion:
     def test_unknown_telemetry_callback_rejected(self):
         with pytest.raises(ValueError, match="unknown telemetry callback"):
             load_spec("quick", ['telemetry.callbacks=["prometheus"]'])
+
+    def test_data_section_coerces_from_dotted_keys(self):
+        """The quick preset has no data section; dotted overrides must
+        create it and coerce into a DataSpec with native types."""
+        spec = load_spec(
+            "quick",
+            [
+                "data.prefetch_depth=4",
+                "data.pin_memory=False",
+                "data.pipeline=monolithic",
+            ],
+        )
+        assert spec.data.prefetch_depth == 4
+        assert spec.data.pin_memory is False
+        assert spec.data.pipeline == "monolithic"
+
+    def test_unknown_datapipe_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown datapipe pipeline"):
+            load_spec("quick", ["data.pipeline=turbo"])
+
+    def test_bool_prefetch_depth_rejected(self):
+        """``true`` parses to a bool, which must not sneak into the int
+        depth field as 1."""
+        with pytest.raises(ValueError, match="prefetch_depth must be an int"):
+            load_spec("quick", ["data.prefetch_depth=true"])
 
 
 class TestRun:

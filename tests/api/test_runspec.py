@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.api import DeviceSpec, RunSpec, ServingSpec, TraceSpec
+from repro.api import DataSpec, DeviceSpec, RunSpec, ServingSpec, TraceSpec
 
 
 class TestRoundTrip:
@@ -61,6 +61,16 @@ class TestRoundTrip:
         path = spec.save(tmp_path / "spec.json")
         assert RunSpec.load(path) == spec
 
+    def test_data_section_round_trips(self):
+        spec = RunSpec(
+            dataset="flickr",
+            data=DataSpec(pipeline="monolithic", prefetch_depth=0, pin_memory=False),
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.data.pipeline == "monolithic"
+        assert restored.data.pin_memory is False
+
 
 class TestUnknownKeyRejection:
     def test_top_level_unknown_key(self):
@@ -84,6 +94,10 @@ class TestUnknownKeyRejection:
     def test_pipad_override_unknown_key(self):
         with pytest.raises(ValueError, match="unknown PiPADConfig override"):
             RunSpec(dataset="flickr", pipad={"enable_warp_drive": True})
+
+    def test_data_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown DataSpec key"):
+            RunSpec.from_dict({"dataset": "flickr", "data": {"depth": 3}})
 
 
 class TestValidation:
@@ -168,6 +182,18 @@ class TestValidation:
         with pytest.raises(ValueError, match="unknown optimizer"):
             RunSpec(dataset="flickr", optimizer="lion")
 
+    def test_unknown_datapipe_pipeline_names_choices(self):
+        with pytest.raises(ValueError, match="unknown datapipe pipeline 'turbo'.*staged"):
+            DataSpec(pipeline="turbo")
+
+    def test_negative_prefetch_depth_rejected(self):
+        with pytest.raises(ValueError, match="prefetch_depth must be >= 0"):
+            DataSpec(prefetch_depth=-1)
+
+    def test_bool_prefetch_depth_rejected(self):
+        with pytest.raises(ValueError, match="prefetch_depth must be an int"):
+            DataSpec(prefetch_depth=True)
+
 
 class TestMaterialization:
     def test_trainer_config_matches_fields(self):
@@ -194,3 +220,11 @@ class TestMaterialization:
         assert cfg.window == 6
         assert cfg.max_batch_requests == 4
         assert cfg.enable_reuse is False
+
+    def test_data_spec_materializes_pipe_config(self):
+        from repro.core.datapipe import DataPipeConfig
+
+        data = DataSpec(pipeline="monolithic", prefetch_depth=3, pin_memory=False)
+        assert data.to_pipe_config() == DataPipeConfig(
+            pipeline="monolithic", prefetch_depth=3, pin_memory=False
+        )

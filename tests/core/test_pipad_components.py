@@ -6,13 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    DataPreparer,
     DynamicTuner,
     GraphSlicer,
     OfflineAnalysis,
     ParallelAggregationProvider,
     PiPADConfig,
     ReuseManager,
+    build_datapipe,
     build_overlap_group,
 )
 from repro.core.tuner import FrameProfile
@@ -53,10 +53,10 @@ class TestSlicer:
 
 
 class TestDataPreparer:
-    def test_prepare_decomposition_exact(self, small_graph):
-        preparer = DataPreparer(slice_capacity=8)
+    def test_partition_decomposition_exact(self, small_graph):
+        pipe = build_datapipe(slice_capacity=8)
         group = small_graph.snapshots[:3]
-        data = preparer.prepare(group)
+        data = pipe.partition(group)
         assert data.size == 3
         assert 0.0 <= data.overlap_rate <= 1.0
         # overlap + exclusives reconstruct each snapshot
@@ -64,28 +64,26 @@ class TestDataPreparer:
             rebuilt = np.union1d(data.overlap.overlap.edge_keys(), exclusive.edge_keys())
             assert np.array_equal(rebuilt, snapshot.adjacency.edge_keys())
 
-    def test_prepare_caches_by_start_and_size(self, small_graph):
-        preparer = DataPreparer()
+    def test_partition_caches_by_start_and_size(self, small_graph):
+        pipe = build_datapipe()
         group = small_graph.snapshots[:2]
-        first = preparer.prepare(group)
-        seconds_after_first = preparer.total_extraction_seconds
-        second = preparer.prepare(group)
+        first = pipe.partition(group)
+        seconds_after_first = pipe.preparer.total_extraction_seconds
+        second = pipe.partition(group)
         assert first is second
-        assert preparer.total_extraction_seconds == seconds_after_first
+        assert pipe.preparer.total_extraction_seconds == seconds_after_first
 
     def test_transfer_savings_vs_full_snapshots(self, small_graph):
-        preparer = DataPreparer()
-        data = preparer.prepare(small_graph.snapshots[:4])
+        data = build_datapipe().partition(small_graph.snapshots[:4])
         assert data.adjacency_bytes < data.baseline_adjacency_bytes
 
-    def test_prepare_frame_covers_all_snapshots(self, small_graph):
-        preparer = DataPreparer()
-        parts = preparer.prepare_frame(small_graph.snapshots[:6], s_per=4)
+    def test_partition_frame_covers_all_snapshots(self, small_graph):
+        parts = build_datapipe().partition_frame(small_graph.snapshots[:6], s_per=4)
         assert [p.size for p in parts] == [4, 2]
 
     def test_empty_group_rejected(self):
         with pytest.raises(ValueError):
-            DataPreparer().prepare([])
+            build_datapipe().partition([])
 
 
 class TestReuseManager:
@@ -236,7 +234,7 @@ class TestOfflineAnalysisAndTuner:
 class TestParallelProvider:
     def test_parallel_matches_sequential_numerics(self, small_graph):
         group = small_graph.snapshots[:3]
-        data = DataPreparer().prepare(group)
+        data = build_datapipe().partition(group)
         parallel = ParallelAggregationProvider(data, spec=SPEC)
         sequential = SequentialAggregationProvider(group, kernel_name="coo", spec=SPEC)
         xs = [Tensor(s.features) for s in group]
@@ -247,7 +245,7 @@ class TestParallelProvider:
 
     def test_parallel_gradients_flow(self, small_graph):
         group = small_graph.snapshots[:2]
-        data = DataPreparer().prepare(group)
+        data = build_datapipe().partition(group)
         provider = ParallelAggregationProvider(data, spec=SPEC)
         xs = [Tensor(s.features, requires_grad=True) for s in group]
         outs = provider.aggregate_many(0, xs)
@@ -256,7 +254,7 @@ class TestParallelProvider:
 
     def test_parallel_uses_cache(self, small_graph):
         group = small_graph.snapshots[:2]
-        data = DataPreparer().prepare(group)
+        data = build_datapipe().partition(group)
         manager = ReuseManager(SimulatedGPU())
         provider = ParallelAggregationProvider(data, spec=SPEC, cache=manager)
         xs = [Tensor(s.features) for s in group]
@@ -271,7 +269,7 @@ class TestParallelProvider:
 
     def test_single_snapshot_partition(self, small_graph):
         group = small_graph.snapshots[:1]
-        data = DataPreparer().prepare(group)
+        data = build_datapipe().partition(group)
         provider = ParallelAggregationProvider(data, spec=SPEC)
         [out] = provider.aggregate_many(0, [Tensor(group[0].features)])
         seq = SequentialAggregationProvider(group, spec=SPEC).aggregate_many(
@@ -281,7 +279,7 @@ class TestParallelProvider:
 
     def test_csr_fallback_matches(self, small_graph):
         group = small_graph.snapshots[:2]
-        data = DataPreparer(use_sliced_csr=False).prepare(group)
+        data = build_datapipe(use_sliced_csr=False).partition(group)
         provider = ParallelAggregationProvider(data, spec=SPEC, use_sliced_csr=False)
         xs = [Tensor(s.features) for s in group]
         outs = provider.aggregate_many(0, xs)

@@ -71,6 +71,28 @@ class TestGoldenDeterminism:
         bubble_pids = {e["pid"] for e in spans if e.get("cat") == "bubble"}
         assert bubble_pids and 0 not in bubble_pids
 
+    def test_prefetch_spans_ride_device_prefetch_threads(self, tmp_path):
+        """Datapipe stage spans (the preset prefetches at depth 2) get their
+        own thread on the owning device's track, never the run track."""
+        _, doc = _run_and_export(tmp_path, "e.json")
+        events = doc["traceEvents"]
+        prefetch = [e for e in events if e.get("cat") == "prefetch"]
+        assert prefetch
+        stages = {e["name"].split("_")[1] for e in prefetch}
+        assert stages == {"slice", "gather", "pin", "h2d"}
+        pids = {e["pid"] for e in prefetch}
+        assert 0 not in pids
+        assert len(pids) > 1  # every pipeline stage device prefetches
+        # All prefetch spans share the reserved per-device thread name.
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {
+            thread_names[(e["pid"], e["tid"])] for e in prefetch
+        } == {"prefetch"}
+
 
 class TestBuildChromeTrace:
     def test_open_spans_are_excluded(self):
