@@ -92,6 +92,10 @@ _LAZY_EXPORTS = {
     "SnapshotShard": "repro.distributed",
     "ShardedServingEngine": "repro.distributed",
     "build_sharded_serving_engine": "repro.distributed",
+    "FleetConfig": "repro.distributed",
+    "FleetServingEngine": "repro.distributed",
+    "ScaleEvent": "repro.distributed",
+    "build_fleet_serving_engine": "repro.distributed",
     # baselines
     "PyGTTrainer": "repro.baselines",
     "PyGTAsyncTrainer": "repro.baselines",

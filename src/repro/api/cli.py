@@ -90,6 +90,26 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         },
         "data": {"pipeline": "staged", "prefetch_depth": 2, "pin_memory": True},
     },
+    "fleet-serving": {
+        "dataset": "youtube",
+        "model": "tgcn",
+        "method": "pipad",
+        "num_snapshots": 12,
+        "frame_size": 8,
+        "epochs": 2,
+        "lr": 5e-3,
+        "serving": {
+            "kind": "fleet",
+            "num_shards": 4,
+            "min_replicas": 2,
+            "admission_limit": 16,
+            "slo_p99_ms": 2.0,
+            "window": 8,
+            "max_batch_requests": 8,
+            "max_delay_ms": 1.0,
+            "trace": {"num_events": 160, "mean_interarrival_ms": 0.2, "seed": 7},
+        },
+    },
     "sharded-serving": {
         "dataset": "covid19_england",
         "model": "tgcn",

@@ -14,7 +14,9 @@ Five registries cover the whole construction space:
 - :data:`SERVING_REGISTRY` maps a serving topology kind to the builder that
   wires the online engine (``local`` → one
   :class:`~repro.serving.scheduler.ServingScheduler`, ``sharded`` →
-  :class:`~repro.distributed.serving.ShardedServingEngine`);
+  :class:`~repro.distributed.serving.ShardedServingEngine`, ``fleet`` →
+  :class:`~repro.distributed.fleet.FleetServingEngine` with a node-sharded
+  store, admission control and an elastic replica pool);
 - :data:`DATAPIPE_REGISTRY` maps a data-pipeline variant (``staged`` /
   ``monolithic``) to its stage composition and the builder that materializes
   the :class:`~repro.core.datapipe.DataPipeConfig` every trainer and serving
@@ -188,6 +190,21 @@ def _build_sharded_serving(
     )
 
 
+def _build_fleet_serving(
+    spec: RunSpec, graph: DynamicGraph, model: DGNNModel
+) -> "FleetServingEngine":  # noqa: F821 - forward ref
+    from repro.distributed.fleet import build_fleet_serving_engine
+
+    assert spec.serving is not None
+    return build_fleet_serving_engine(
+        graph,
+        model,
+        spec.serving.to_fleet_config(),
+        spec.serving.to_serving_config(),
+        data=build_pipe_config(spec),
+    )
+
+
 @dataclass(frozen=True)
 class ServingKind:
     """One serving topology the engine can resolve a spec onto."""
@@ -207,6 +224,12 @@ SERVING_REGISTRY: Dict[str, ServingKind] = {
         "sharded",
         "ShardedServingEngine: round-robin routing over K replicas",
         _build_sharded_serving,
+    ),
+    "fleet": ServingKind(
+        "fleet",
+        "FleetServingEngine: node-sharded store, load-aware admission "
+        "control, elastic replica pool",
+        _build_fleet_serving,
     ),
 }
 

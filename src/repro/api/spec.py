@@ -32,7 +32,7 @@ INTERCONNECT_KINDS: Tuple[str, ...] = ("nvlink", "pcie")
 DEVICE_KINDS: Tuple[str, ...] = ("single", "group", "pipeline")
 
 #: serving topologies understood by the engine (keys of ``SERVING_REGISTRY``)
-SERVING_KINDS: Tuple[str, ...] = ("local", "sharded")
+SERVING_KINDS: Tuple[str, ...] = ("local", "sharded", "fleet")
 
 #: names of the :class:`PiPADConfig` knobs a spec may override
 PIPAD_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(PiPADConfig))
@@ -263,8 +263,10 @@ class DataSpec(_SpecBase):
 class ServingSpec(_SpecBase):
     """Online-serving section of a run: engine topology + scheduler knobs."""
 
-    #: ``"local"`` (one :class:`ServingScheduler`) or ``"sharded"``
-    #: (:class:`ShardedServingEngine` over ``num_shards`` replicas)
+    #: ``"local"`` (one :class:`ServingScheduler`), ``"sharded"``
+    #: (:class:`ShardedServingEngine` over ``num_shards`` full replicas) or
+    #: ``"fleet"`` (:class:`FleetServingEngine`: node-sharded store,
+    #: admission control, elastic replica pool)
     kind: str = "local"
     num_shards: int = 1
     window: int = 8
@@ -273,10 +275,23 @@ class ServingSpec(_SpecBase):
     enable_reuse: bool = True
     enable_pipeline: bool = True
     fixed_s_per: Optional[int] = None
+    # -- fleet-only knobs (consulted by kind "fleet") -----------------------
+    #: replicas active at start (and the autoscaler's floor)
+    min_replicas: int = 1
+    #: autoscaler ceiling; ``None`` means all ``num_shards`` replicas
+    max_replicas: Optional[int] = None
+    #: per-replica queue depth at which new requests are shed
+    admission_limit: int = 32
+    #: p99 latency SLO (milliseconds, simulated) driving the autoscaler
+    slo_p99_ms: float = 50.0
+    #: node-ownership strategy of the fleet partition plan
+    partition_mode: str = "edges"
     #: trace replayed by ``Engine.serve()`` when none is passed explicitly
     trace: TraceSpec = field(default_factory=TraceSpec)
 
     def __post_init__(self) -> None:
+        from repro.graph.partition import PARTITION_MODES
+
         if isinstance(self.trace, Mapping):
             object.__setattr__(self, "trace", TraceSpec.from_dict(self.trace))
         if self.kind not in SERVING_KINDS:
@@ -290,9 +305,24 @@ class ServingSpec(_SpecBase):
                 f"serving kind 'local' requires num_shards=1, got {self.num_shards}; "
                 "use kind='sharded' for multi-replica serving"
             )
-        if self.kind == "sharded" and self.num_shards < 2:
+        if self.kind in ("sharded", "fleet") and self.num_shards < 2:
             raise ValueError(
-                f"serving kind 'sharded' requires num_shards>=2, got {self.num_shards}"
+                f"serving kind {self.kind!r} requires num_shards>=2, got "
+                f"{self.num_shards}"
+            )
+        check_positive("min_replicas", self.min_replicas)
+        check_positive("admission_limit", self.admission_limit)
+        check_positive("slo_p99_ms", self.slo_p99_ms)
+        if self.partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition_mode {self.partition_mode!r}; valid modes: "
+                f"{_known_choices(tuple(PARTITION_MODES))}"
+            )
+        ceiling = self.num_shards if self.max_replicas is None else self.max_replicas
+        if not self.min_replicas <= ceiling <= self.num_shards:
+            raise ValueError(
+                f"need min_replicas <= max_replicas <= num_shards, got "
+                f"min={self.min_replicas} max={ceiling} shards={self.num_shards}"
             )
 
     def to_serving_config(self) -> "ServingConfig":  # noqa: F821 - forward ref
@@ -306,6 +336,19 @@ class ServingSpec(_SpecBase):
             enable_reuse=self.enable_reuse,
             enable_pipeline=self.enable_pipeline,
             fixed_s_per=self.fixed_s_per,
+        )
+
+    def to_fleet_config(self) -> "FleetConfig":  # noqa: F821 - forward ref
+        """Materialize the engine-level :class:`FleetConfig` (kind 'fleet')."""
+        from repro.distributed.fleet import FleetConfig
+
+        return FleetConfig(
+            num_shards=self.num_shards,
+            min_replicas=self.min_replicas,
+            max_replicas=self.max_replicas,
+            admission_limit=self.admission_limit,
+            slo_p99_ms=self.slo_p99_ms,
+            partition_mode=self.partition_mode,
         )
 
 

@@ -20,11 +20,21 @@ lives next to its single-device counterparts so each layer stays cohesive:
   stages over point-to-point ``DeviceGroup.send`` transfers;
 - :class:`ShardedServingEngine` (here) is the sharded entry point for the
   streaming serving scheduler: requests fan out across per-device serving
-  replicas while graph deltas broadcast to every shard.
+  replicas while graph deltas broadcast to every shard;
+- :class:`FleetServingEngine` (here) is its fleet-scale successor: one
+  node-sharded store shared by the replicas, ownership routing with
+  queue-depth admission control, and an elastic replica pool that scales on
+  p99/SLO pressure.
 """
 
 from repro.core.distributed_trainer import DistributedConfig, DistributedTrainer
 from repro.core.pipeline_trainer import PipelineConfig, PipelineTrainer
+from repro.distributed.fleet import (
+    FleetConfig,
+    FleetServingEngine,
+    ScaleEvent,
+    build_fleet_serving_engine,
+)
 from repro.distributed.serving import ShardedServingEngine, build_sharded_serving_engine
 from repro.gpu.device_group import COMM_STREAM, RESOURCE_PEER_LINK, DeviceGroup
 from repro.gpu.interconnect import NVLINK, PCIE_PEER, Interconnect, LinkSpec
@@ -43,6 +53,8 @@ __all__ = [
     "DeviceGroup",
     "DistributedConfig",
     "DistributedTrainer",
+    "FleetConfig",
+    "FleetServingEngine",
     "FramePartitioner",
     "FrameStage",
     "GraphPartitioner",
@@ -55,8 +67,10 @@ __all__ = [
     "PipelineTrainer",
     "RESOURCE_PEER_LINK",
     "SCHEDULE_MODES",
+    "ScaleEvent",
     "ShardGroup",
     "ShardedServingEngine",
     "SnapshotShard",
+    "build_fleet_serving_engine",
     "build_sharded_serving_engine",
 ]

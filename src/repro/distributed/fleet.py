@@ -1,0 +1,417 @@
+"""Fleet-scale serving: node-sharded store, load-aware admission, elastic replicas.
+
+:class:`FleetServingEngine` is the "millions of users" counterpart of the
+replicated :class:`~repro.distributed.serving.ShardedServingEngine`.  Three
+things change relative to round-robin replication:
+
+**Node-sharded store.**  All replicas share one
+:class:`~repro.serving.store.IncrementalSnapshotStore`, and a
+:class:`~repro.graph.partition.GraphPartitioner` plan assigns each replica a
+contiguous node range it *owns*.  A deployed shard holds only its own rows
+(features + adjacency row range + halo rows) instead of a full window copy,
+so per-replica store memory drops ~K-fold; the report accounts that
+shard-local footprint per replica.  Requests whose nodes spill outside the
+owner's range pay an explicit *halo gather* — a host op sized by the remote
+rows times the window depth at the host gather bandwidth — scheduled through
+the :attr:`~repro.serving.scheduler.ServingScheduler.pre_batch_ops` seam so
+the batch's transfers wait on it.  Because the numerics still read the shared
+store, predictions stay bit-identical to the single-device scheduler.
+
+**Load-aware routing with admission control.**  Each request routes to the
+active replica owning the most of its nodes, tie-broken by micro-batcher
+queue depth.  When the chosen replica's queue depth has reached
+``admission_limit`` the request is *shed*: :meth:`FleetServingEngine.submit`
+returns ``None`` and the report surfaces ``rejected_requests``.  Shedding
+bounds the tail latency of admitted traffic under bursts, which unbounded
+round-robin queueing cannot.
+
+**Elastic replica pool.**  ``num_shards`` replicas are provisioned, but only
+``min_replicas`` start active; a rolling p99 over recently completed
+requests is compared against ``slo_p99_ms`` on every submission, scaling the
+active pool up (p99 above SLO) or down (p99 under half the SLO) within
+``[min_replicas, max_replicas]``, with a cooldown between decisions.  Scale
+events emit through the engine's telemetry hooks (``on_phase_start`` /
+``on_phase_end``) and are counted in the report.  Inactive replicas keep
+absorbing deltas so their caches are consistent the moment they activate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.datapipe import DataPipeConfig
+from repro.distributed.serving import ShardedServingEngine
+from repro.graph.csr import INDEX_BYTES
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.partition import PARTITION_MODES, GraphPartitioner
+from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
+from repro.nn.base_model import DGNNModel
+from repro.serving.batcher import MicroBatch
+from repro.serving.deltas import GraphDelta
+from repro.serving.metrics import ServingReport
+from repro.serving.scheduler import ServingConfig, ServingScheduler
+from repro.serving.store import DeltaReport, IncrementalSnapshotStore
+from repro.telemetry.hooks import NULL_CALLBACK, TelemetryCallback
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the fleet engine: sharding, admission and autoscaling."""
+
+    #: provisioned replicas; also the number of node shards (pool ceiling)
+    num_shards: int = 2
+    #: replicas active at start (and the scale-down floor)
+    min_replicas: int = 1
+    #: scale-up ceiling; ``None`` means all provisioned shards
+    max_replicas: Optional[int] = None
+    #: per-replica queue depth at which new requests are shed
+    admission_limit: int = 32
+    #: p99 latency target (milliseconds, simulated time) driving autoscale
+    slo_p99_ms: float = 50.0
+    #: node-assignment strategy of the ownership plan (``"edges"``/``"nodes"``)
+    partition_mode: str = "edges"
+    #: completed requests in the rolling p99 window
+    scale_window: int = 16
+    #: admitted submissions between scale decisions
+    scale_cooldown: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("num_shards", self.num_shards)
+        check_positive("min_replicas", self.min_replicas)
+        check_positive("admission_limit", self.admission_limit)
+        check_positive("slo_p99_ms", self.slo_p99_ms)
+        check_positive("scale_window", self.scale_window)
+        check_positive("scale_cooldown", self.scale_cooldown)
+        ceiling = self.num_shards if self.max_replicas is None else self.max_replicas
+        if not self.min_replicas <= ceiling <= self.num_shards:
+            raise ValueError(
+                f"need min_replicas <= max_replicas <= num_shards, got "
+                f"min={self.min_replicas} max={ceiling} shards={self.num_shards}"
+            )
+        if self.partition_mode not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition mode {self.partition_mode!r}; expected one "
+                f"of {PARTITION_MODES}"
+            )
+
+    @property
+    def replica_ceiling(self) -> int:
+        return self.num_shards if self.max_replicas is None else self.max_replicas
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscale decision of the elastic pool."""
+
+    direction: str  # "up" | "down"
+    active_replicas: int  # pool size *after* the decision
+    at: float  # simulated time of the triggering submission
+    p99_ms: float  # rolling p99 that triggered it
+
+
+class FleetServingEngine(ShardedServingEngine):
+    """Node-sharded, admission-controlled, autoscaling serving fleet.
+
+    Inherits the id bookkeeping, pump re-keying, trace replay and report
+    merging of :class:`ShardedServingEngine`; overrides ingestion (shared
+    store, applied once), routing (ownership + queue depth + admission) and
+    extends the merged report with fleet accounting.
+    """
+
+    def __init__(
+        self,
+        replicas: List[ServingScheduler],
+        store: IncrementalSnapshotStore,
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        super().__init__(replicas)
+        self.fleet_config = config or FleetConfig()
+        if self.fleet_config.num_shards != len(replicas):
+            raise ValueError(
+                f"FleetConfig.num_shards={self.fleet_config.num_shards} but "
+                f"{len(replicas)} replicas were provided"
+            )
+        for replica in replicas:
+            if replica.store is not store:
+                raise ValueError(
+                    "fleet replicas must share one IncrementalSnapshotStore; "
+                    "build them through build_fleet_serving_engine"
+                )
+        self.store = store
+        #: engine-level telemetry sink (scale events); the runtime swaps in a
+        #: live CallbackList alongside the per-replica hooks
+        self.hooks: TelemetryCallback = NULL_CALLBACK
+        partitioner = GraphPartitioner(
+            self.fleet_config.num_shards, mode=self.fleet_config.partition_mode
+        )
+        #: persistent node-ownership boundaries (length ``num_shards + 1``)
+        self.boundaries = partitioner.plan(store.window_snapshots())
+        self._partitioner = partitioner
+        self._active = self.fleet_config.min_replicas
+        self._since_scale = self.fleet_config.scale_cooldown
+        self.rejected_requests = 0
+        self.scale_events: List[ScaleEvent] = []
+        self.halo_gather_bytes = 0.0
+        self.halo_gather_seconds = 0.0
+        self.halo_gather_batches = 0
+        for shard in range(self.num_shards):
+            replicas[shard].pre_batch_ops = self._make_halo_gather(shard)
+
+    # ------------------------------------------------------------------ pool state
+    @property
+    def active_replicas(self) -> int:
+        """Replicas currently receiving traffic (a prefix of the pool)."""
+        return self._active
+
+    def owner_of(self, node_id: int) -> int:
+        """Shard owning a node id under the persistent partition plan."""
+        return int(np.searchsorted(self.boundaries, node_id, side="right") - 1)
+
+    # ------------------------------------------------------------------ halo gather
+    def _make_halo_gather(self, shard: int):
+        """Per-replica ``pre_batch_ops`` hook charging boundary-row gathers."""
+        replica = self.replicas[shard]
+        lo, hi = int(self.boundaries[shard]), int(self.boundaries[shard + 1])
+
+        def gather(batch: MicroBatch) -> List[object]:
+            remote = int(np.count_nonzero((batch.node_ids < lo) | (batch.node_ids >= hi)))
+            if remote == 0:
+                return []
+            store = replica.store
+            gather_bytes = (
+                remote * store.feature_dim * 4.0 * store.window_size * replica.scale
+            )
+            seconds = gather_bytes / (replica.device.host.gather_bandwidth_gbs * 1e9)
+            op = replica.device.host_op(
+                seconds,
+                label=f"halo_gather_b{batch.batch_id}",
+                stream="cpu_prep" if replica.config.enable_pipeline else "default",
+                not_before=batch.formed_time,
+            )
+            self.halo_gather_bytes += gather_bytes
+            self.halo_gather_seconds += seconds
+            self.halo_gather_batches += 1
+            return [op]
+
+        return gather
+
+    # ------------------------------------------------------------------ ingestion
+    def ingest(self, delta: GraphDelta, *, at: Optional[float] = None) -> List[DeltaReport]:
+        """Apply a delta once to the shared store; every replica absorbs it.
+
+        Inactive replicas absorb too — their caches must be consistent the
+        moment a scale-up routes traffic at them.  Returns the single
+        :class:`DeltaReport` (in a list, for signature compatibility with the
+        replicated engine).
+        """
+        self._touch_wall_clock()
+        report = self.store.apply(delta)
+        for replica in self.replicas:
+            replica.absorb_delta(report, at=at)
+        return [report]
+
+    # ------------------------------------------------------------------ routing
+    def queue_depth(self, shard: int, now: float) -> int:
+        """Outstanding requests on a replica: queued plus in flight.
+
+        A request stays "in flight" until its simulated completion time
+        passes — admission must see the device backlog, not just the
+        micro-batcher's queue, or small forced batches pile up on a hot
+        replica far beyond the admission limit.
+        """
+        replica = self.replicas[shard]
+        in_flight = sum(
+            1 for record in replica.metrics.requests if record.completion_time > now
+        )
+        return replica.batcher.pending + in_flight
+
+    def _route(self, ids: np.ndarray, now: float) -> Optional[int]:
+        """Owner-most routing over the active pool with admission control."""
+        active = range(self._active)
+        owned = [
+            int(
+                np.count_nonzero(
+                    (ids >= self.boundaries[s]) & (ids < self.boundaries[s + 1])
+                )
+            )
+            for s in active
+        ]
+        best = max(owned)
+        candidates = [s for s in active if owned[s] == best]
+        depths = {s: self.queue_depth(s, now) for s in candidates}
+        shard = min(candidates, key=lambda s: depths[s])
+        if depths[shard] >= self.fleet_config.admission_limit:
+            return None
+        return shard
+
+    def submit(
+        self, node_ids: Iterable[int], *, at: Optional[float] = None
+    ) -> Optional[int]:
+        """Route one request through admission control.
+
+        Returns the global request id, or ``None`` when every eligible
+        replica is at its admission limit and the request is shed.
+        """
+        self._touch_wall_clock()
+        ids = np.asarray(list(node_ids), dtype=np.int64)
+        now = at if at is not None else max(
+            replica.device.elapsed_seconds() for replica in self.replicas
+        )
+        self._maybe_scale(now)
+        shard = self._route(ids, now)
+        if shard is None:
+            self.rejected_requests += 1
+            return None
+        local_id = self.replicas[shard].submit(ids, at=at)
+        return self._register_route(shard, local_id)
+
+    # ------------------------------------------------------------------ autoscale
+    def _recent_p99_seconds(self) -> float:
+        """Rolling p99 over the most recently completed requests, fleet-wide."""
+        records = [
+            record
+            for replica in self.replicas
+            for record in replica.metrics.requests
+        ]
+        if not records:
+            return float("nan")
+        records.sort(key=lambda r: (r.completion_time, r.arrival_time))
+        recent = records[-self.fleet_config.scale_window :]
+        return float(np.percentile([r.latency for r in recent], 99.0))
+
+    def _maybe_scale(self, now: float) -> None:
+        cfg = self.fleet_config
+        if self._since_scale < cfg.scale_cooldown:
+            self._since_scale += 1
+            return
+        p99 = self._recent_p99_seconds()
+        if math.isnan(p99):
+            return
+        p99_ms = p99 * 1e3
+        if p99_ms > cfg.slo_p99_ms and self._active < cfg.replica_ceiling:
+            self._active += 1
+            self._emit_scale("up", now, p99_ms)
+        elif p99_ms < 0.5 * cfg.slo_p99_ms and self._active > cfg.min_replicas:
+            self._active -= 1
+            self._emit_scale("down", now, p99_ms)
+
+    def _emit_scale(self, direction: str, now: float, p99_ms: float) -> None:
+        self._since_scale = 0
+        event = ScaleEvent(
+            direction=direction, active_replicas=self._active, at=now, p99_ms=p99_ms
+        )
+        self.scale_events.append(event)
+        phase = f"fleet_scale_{direction}_to_{self._active}"
+        self.hooks.on_phase_start(phase, now)
+        self.hooks.on_phase_end(phase, now)
+
+    # ------------------------------------------------------------------ reporting
+    def shard_store_bytes(self) -> List[float]:
+        """Store bytes a deployed replica of each shard would hold today.
+
+        Per window snapshot: the shard's feature-row slice, a compacted CSR of
+        its adjacency row range, and the halo feature rows it caches to
+        aggregate across the boundary.  The shared in-process store keeps the
+        full window once; this is the per-node accounting the node-sharded
+        deployment is built to achieve (vs. ``window_bytes()`` per replica in
+        the replicated engine).
+        """
+        snapshots = self.store.window_snapshots()
+        num_nodes = self.store.num_nodes
+        feature_row_bytes = [
+            snap.feature_bytes() / max(1, num_nodes) for snap in snapshots
+        ]
+        totals = [0.0] * self.num_shards
+        for snap, row_bytes in zip(snapshots, feature_row_bytes):
+            for shard in self._partitioner.shard_snapshot(snap, self.boundaries):
+                local_adjacency = (
+                    2 * shard.num_edges + shard.num_local_nodes + 1
+                ) * INDEX_BYTES
+                totals[shard.device] += (
+                    shard.num_local_nodes * row_bytes
+                    + local_adjacency
+                    + shard.halo_feature_bytes(self.store.feature_dim)
+                )
+        return totals
+
+    def report(self) -> ServingReport:
+        """Merged report plus fleet accounting (admission, scaling, halo)."""
+        merged = super().report()
+        merged.engine = f"PiPAD-Fleet-x{self.num_shards}"
+        shard_bytes = self.shard_store_bytes()
+        cfg = self.fleet_config
+        merged.extras.update(
+            {
+                "admitted_requests": float(len(self._routes)),
+                "rejected_requests": float(self.rejected_requests),
+                "active_replicas": float(self._active),
+                "min_replicas": float(cfg.min_replicas),
+                "max_replicas": float(cfg.replica_ceiling),
+                "scale_up_events": float(
+                    sum(1 for e in self.scale_events if e.direction == "up")
+                ),
+                "scale_down_events": float(
+                    sum(1 for e in self.scale_events if e.direction == "down")
+                ),
+                "halo_gather_bytes": float(self.halo_gather_bytes),
+                "halo_gather_seconds": float(self.halo_gather_seconds),
+                "halo_gather_batches": float(self.halo_gather_batches),
+                # node-sharded footprint overrides the replicated full-window
+                # figure the base merge reports
+                "per_replica_store_bytes": float(np.mean(shard_bytes)),
+                "fleet_store_bytes": float(self.store.window_bytes()),
+                "prefetch_depth": float(self.replicas[0].data.prefetch_depth),
+                "prefetch_host_seconds": float(
+                    sum(
+                        replica.prefetcher.stats().get("prefetch_host_seconds", 0.0)
+                        for replica in self.replicas
+                    )
+                ),
+            }
+        )
+        for shard, value in enumerate(shard_bytes):
+            merged.extras[f"shard{shard}_store_bytes"] = float(value)
+        return merged
+
+
+def build_fleet_serving_engine(
+    graph: Union[DynamicGraph, IncrementalSnapshotStore],
+    model: DGNNModel,
+    fleet: Optional[FleetConfig] = None,
+    config: Optional[ServingConfig] = None,
+    *,
+    gpu: Optional[GPUSpec] = None,
+    pcie: Optional[PCIeSpec] = None,
+    host: Optional[HostSpec] = None,
+    scale: float = 1.0,
+    data: Optional[DataPipeConfig] = None,
+) -> FleetServingEngine:
+    """Wire a node-sharded fleet: one shared store, ``num_shards`` replicas."""
+    fleet = fleet or FleetConfig()
+    config = config or ServingConfig()
+    if isinstance(graph, IncrementalSnapshotStore):
+        store = graph
+        dataset = "serving"
+    else:
+        store = IncrementalSnapshotStore(graph, window=config.window, host=host)
+        dataset = graph.name
+    replicas = [
+        ServingScheduler(
+            model,
+            store,
+            config,
+            gpu=gpu,
+            pcie=pcie,
+            host=host,
+            scale=scale,
+            dataset=dataset,
+            data=data,
+        )
+        for _ in range(fleet.num_shards)
+    ]
+    return FleetServingEngine(replicas, store, fleet)

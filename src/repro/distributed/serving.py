@@ -36,6 +36,35 @@ from repro.utils.validation import check_positive
 _BATCH_ID_STRIDE = 1_000_000
 #: per-replica breakdown keys that are ratios/horizons, not additive seconds
 _NON_ADDITIVE_BREAKDOWN = ("makespan", "gpu_utilization", "sm_utilization")
+#: per-replica reuse-stat keys that are gauges (cache sizes, buffer bytes),
+#: not additive counters — summing them across K identical replicas reads as
+#: a K-times-larger cache and becomes outright wrong under node-sharding
+_NON_ADDITIVE_REUSE = (
+    "cpu_cached_snapshots",
+    "gpu_resident_snapshots",
+    "gpu_buffer_bytes",
+)
+
+
+def _merge_stat_maps(
+    maps: List[Dict[str, float]], non_additive: Tuple[str, ...]
+) -> Dict[str, float]:
+    """Merge per-replica stat dicts: sum counters, average gauge/ratio keys.
+
+    Shared by the ``breakdown`` and ``reuse_stats`` merges so both follow one
+    additive/non-additive split (callers may still override individual keys,
+    e.g. ``makespan`` → max).
+    """
+    merged: Dict[str, float] = {}
+    for stats in maps:
+        for key, value in stats.items():
+            if key not in non_additive:
+                merged[key] = merged.get(key, 0.0) + value
+    for key in non_additive:
+        values = [stats[key] for stats in maps if key in stats]
+        if values:
+            merged[key] = float(np.mean(values))
+    return merged
 
 
 class ShardedServingEngine:
@@ -50,7 +79,13 @@ class ShardedServingEngine:
         self._routes: List[Tuple[int, int]] = []
         #: (shard index, shard-local request id) -> global request id
         self._global_ids: Dict[Tuple[int, int], int] = {}
-        self._wall_start = time.perf_counter()
+        #: wall clock starts at first traffic, matching the single-device
+        #: scheduler — building K replicas is provisioning, not serving time
+        self._wall_start: Optional[float] = None
+
+    def _touch_wall_clock(self) -> None:
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
 
     @property
     def num_shards(self) -> int:
@@ -59,13 +94,19 @@ class ShardedServingEngine:
     # ------------------------------------------------------------------ traffic
     def ingest(self, delta: GraphDelta, *, at: Optional[float] = None) -> List[DeltaReport]:
         """Broadcast a graph delta to every shard (all serve the same head)."""
+        self._touch_wall_clock()
         return [replica.ingest(delta, at=at) for replica in self.replicas]
 
     def submit(self, node_ids: Iterable[int], *, at: Optional[float] = None) -> int:
         """Route one request to the next shard; returns a global request id."""
+        self._touch_wall_clock()
         shard = self._next_shard
         self._next_shard = (self._next_shard + 1) % self.num_shards
         local_id = self.replicas[shard].submit(node_ids, at=at)
+        return self._register_route(shard, local_id)
+
+    def _register_route(self, shard: int, local_id: int) -> int:
+        """Issue the next global request id for a shard-local submission."""
         global_id = len(self._routes)
         self._routes.append((shard, local_id))
         self._global_ids[(shard, local_id)] = global_id
@@ -120,6 +161,7 @@ class ShardedServingEngine:
 
     def run_trace(self, events: Iterable[ServingEvent]) -> ServingReport:
         """Replay a timestamped trace across the sharded engine."""
+        self._touch_wall_clock()
         last_time = 0.0
         for event in sorted(events, key=lambda e: e.time):
             self.pump(event.time)
@@ -141,9 +183,12 @@ class ShardedServingEngine:
 
         Latency records concatenate across shards (request ids map back to
         the global ids ``submit`` returned; batch ids are offset so they
-        stay unique); logical delta counts are per-engine quantities — a
-        broadcast delta is one update, not ``K`` — so they come from the
-        first replica rather than being summed.
+        stay unique).  ``deltas_ingested`` is a logical per-engine count — a
+        broadcast delta is one update, not ``K`` — so it merges as the max
+        across replicas; ``rows_touched`` is fleet-wide patch *work* — every
+        replica invalidates and re-patches its own cache copy — so it merges
+        as the sum (replicas may see different traffic and touch different
+        row counts; copying replica 0's value would under-count).
         """
         reports = [replica.report() for replica in self.replicas]
         merged = ServingMetrics()
@@ -161,36 +206,40 @@ class ShardedServingEngine:
                 merged.record_batch(
                     dataclasses.replace(batch, batch_id=batch.batch_id + offset)
                 )
-        merged.deltas_ingested = self.replicas[0].metrics.deltas_ingested
-        merged.rows_touched = self.replicas[0].metrics.rows_touched
+        merged.deltas_ingested = max(
+            replica.metrics.deltas_ingested for replica in self.replicas
+        )
+        merged.rows_touched = sum(
+            replica.metrics.rows_touched for replica in self.replicas
+        )
 
-        breakdown: Dict[str, float] = {}
-        reuse_stats: Dict[str, float] = {}
-        extras: Dict[str, float] = {"num_shards": float(self.num_shards)}
-        for shard, report in enumerate(reports):
-            for key, value in report.breakdown.items():
-                # Kind-seconds add up across shards; horizons and utilization
-                # ratios do not (summing K makespans ~Kx-inflates the clock).
-                if key not in _NON_ADDITIVE_BREAKDOWN:
-                    breakdown[key] = breakdown.get(key, 0.0) + value
-            for key, value in report.reuse_stats.items():
-                reuse_stats[key] = reuse_stats.get(key, 0.0) + value
-            extras[f"shard{shard}_requests"] = float(report.metrics.num_requests)
+        # Kind-seconds and hit/miss counters add up across shards; horizons,
+        # utilization ratios and cache-size gauges do not (summing K makespans
+        # ~Kx-inflates the clock, summing K buffer gauges ~Kx-inflates the
+        # cache) — those merge as the mean, and makespan as the max below.
+        breakdown = _merge_stat_maps(
+            [report.breakdown for report in reports], _NON_ADDITIVE_BREAKDOWN
+        )
         breakdown["makespan"] = max(
             report.breakdown.get("makespan", 0.0) for report in reports
         )
-        # Ratio keys every single-replica breakdown carries: keep them present
-        # (mean across shards) so sharded reports stay drop-in compatible.
-        for key in ("gpu_utilization", "sm_utilization"):
-            values = [r.breakdown[key] for r in reports if key in r.breakdown]
-            if values:
-                breakdown[key] = float(np.mean(values))
+        reuse_stats = _merge_stat_maps(
+            [report.reuse_stats for report in reports], _NON_ADDITIVE_REUSE
+        )
+        extras: Dict[str, float] = {"num_shards": float(self.num_shards)}
+        for shard, report in enumerate(reports):
+            extras[f"shard{shard}_requests"] = float(report.metrics.num_requests)
+        extras["per_replica_store_bytes"] = float(
+            np.mean([replica.store.window_bytes() for replica in self.replicas])
+        )
         return ServingReport(
             engine=f"{reports[0].engine}-x{self.num_shards}",
             model=reports[0].model,
             dataset=reports[0].dataset,
             simulated_seconds=max(r.simulated_seconds for r in reports),
-            wall_seconds=time.perf_counter() - self._wall_start,
+            wall_seconds=(
+                0.0 if self._wall_start is None else time.perf_counter() - self._wall_start
+            ),
             metrics=merged,
             breakdown=breakdown,
             reuse_stats=reuse_stats,

@@ -23,7 +23,7 @@ import dataclasses
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -266,15 +266,40 @@ class ServingScheduler:
         self.metrics = ServingMetrics()
         #: telemetry sink; the engine swaps in a live CallbackList
         self.hooks: TelemetryCallback = NULL_CALLBACK
+        #: optional per-batch op injector (the fleet engine hangs its halo
+        #: gather here); called with the micro-batch, returns timeline ops the
+        #: batch's transfers must additionally wait on
+        self.pre_batch_ops: Optional[Callable[[MicroBatch], List[object]]] = None
         self._next_request_id = 0
         self._last_delta_op = None
-        self._wall_start = time.perf_counter()
+        #: wall clock starts at first traffic (submit/ingest/run_trace), not at
+        #: construction — replica-build cost is not serving time, and the
+        #: sharded/fleet engines follow the same convention
+        self._wall_start: Optional[float] = None
+
+    def _touch_wall_clock(self) -> None:
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
 
     # ------------------------------------------------------------------ ingestion
     def ingest(self, delta: GraphDelta, *, at: Optional[float] = None) -> DeltaReport:
         """Apply a graph delta and incrementally maintain the reuse cache."""
+        self._touch_wall_clock()
         at = self.device.elapsed_seconds() if at is None else at
         report = self.store.apply(delta)
+        self.absorb_delta(report, at=at)
+        return report
+
+    def absorb_delta(self, report: DeltaReport, *, at: Optional[float] = None) -> DeltaReport:
+        """Maintain caches/metrics for a delta already applied to the store.
+
+        The seam the fleet engine needs: its replicas share one
+        :class:`IncrementalSnapshotStore`, so the delta is applied once and
+        every replica absorbs the resulting report (cache patch + accounting)
+        without re-applying it.
+        """
+        self._touch_wall_clock()
+        at = self.device.elapsed_seconds() if at is None else at
         patch_seconds = self.session.refresh(report)
         # Remember the op: batches serving the post-delta window must not
         # start before the delta that produced their state has been applied.
@@ -294,6 +319,7 @@ class ServingScheduler:
         Invalid node ids are rejected here, before anything is scheduled —
         a bad request must not poison the micro-batch it would join.
         """
+        self._touch_wall_clock()
         at = self.device.elapsed_seconds() if at is None else at
         ids = np.asarray(list(node_ids), dtype=np.int64)
         if len(ids) and (ids.min() < 0 or ids.max() >= self.store.num_nodes):
@@ -341,9 +367,12 @@ class ServingScheduler:
             num_snapshots=self._prep_snapshot_count(),
             transfer_bytes=transfer_bytes,
         )
+        depends_on = [] if self._last_delta_op is None else [self._last_delta_op]
+        if self.pre_batch_ops is not None:
+            depends_on.extend(self.pre_batch_ops(batch))
         transfer_ops = self.prefetcher.schedule(
             item,
-            depends_on=None if self._last_delta_op is None else [self._last_delta_op],
+            depends_on=depends_on or None,
             not_before=batch.formed_time,
         )
         transfer = transfer_ops[-1]
@@ -415,6 +444,7 @@ class ServingScheduler:
     # ------------------------------------------------------------------ traces
     def run_trace(self, events: Iterable[ServingEvent]) -> ServingReport:
         """Replay a timestamped delta/request trace and return the report."""
+        self._touch_wall_clock()
         last_time = 0.0
         for event in sorted(events, key=lambda e: e.time):
             self.pump(event.time)
@@ -436,13 +466,16 @@ class ServingScheduler:
             extras["mean_s_per"] = float(np.mean([d.s_per for d in self.policy.decisions]))
         extras["rows_patched"] = float(self.session.rows_patched)
         extras["window_overlap_rate"] = self.store.overlap_rate()
+        extras["store_bytes"] = float(self.store.window_bytes())
         extras.update(self.prefetcher.stats())
         return ServingReport(
             engine="PiPAD-Serve" if self.config.enable_reuse else "Recompute-Serve",
             model=self.model.name,
             dataset=self.dataset,
             simulated_seconds=self.device.elapsed_seconds(),
-            wall_seconds=time.perf_counter() - self._wall_start,
+            wall_seconds=(
+                0.0 if self._wall_start is None else time.perf_counter() - self._wall_start
+            ),
             metrics=self.metrics,
             breakdown=self.device.breakdown(),
             reuse_stats=self.session.stats(),

@@ -135,6 +135,17 @@ class IncrementalSnapshotStore:
     def window_versions(self) -> List[int]:
         return [s.timestep for s in self._window]
 
+    def window_bytes(self) -> int:
+        """Bytes held by the serving window (features + adjacency per version).
+
+        This is the store-memory footprint one full replica pays; the fleet
+        engine reports the node-sharded fraction of it per shard.
+        """
+        return sum(
+            int(snap.feature_bytes()) + int(snap.adjacency.nbytes)
+            for snap in self._window
+        )
+
     def snapshot(self, version: int) -> GraphSnapshot:
         for snap in self._window:
             if snap.timestep == version:

@@ -79,6 +79,10 @@ class Telemetry:
         if replicas is not None:
             for replica in replicas:
                 replica.hooks = self.hooks
+            # Engines with their own emission surface (the fleet's autoscale
+            # events) get the live hooks alongside their replicas.
+            if hasattr(engine, "hooks"):
+                engine.hooks = self.hooks
         else:
             engine.hooks = self.hooks
 

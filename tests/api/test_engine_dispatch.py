@@ -26,7 +26,7 @@ from repro.core import (
     PipelineTrainer,
 )
 from repro.core.distributed_trainer import DistributedTrainer as CoreDistributedTrainer
-from repro.distributed import ShardedServingEngine
+from repro.distributed import FleetServingEngine, ShardedServingEngine
 from repro.graph import load_dataset
 from repro.serving import ServingConfig, ServingScheduler, build_serving_engine
 
@@ -105,6 +105,36 @@ class TestServingDispatch:
         engine = Engine.from_spec(spec)
         assert type(engine.serving_engine) is ShardedServingEngine
         assert engine.serving_engine.num_shards == 3
+
+    def test_fleet_serving_resolves_fleet_engine(self):
+        spec = RunSpec(
+            serving=ServingSpec(kind="fleet", num_shards=3, min_replicas=2),
+            **_QUICK,
+        )
+        engine = Engine.from_spec(spec)
+        serving = engine.serving_engine
+        assert type(serving) is FleetServingEngine
+        assert serving.num_shards == 3
+        assert serving.active_replicas == 2
+        # All replicas share the single node-sharded store.
+        assert all(r.store is serving.store for r in serving.replicas)
+
+    def test_fleet_knobs_reach_fleet_config(self):
+        spec = RunSpec(
+            serving=ServingSpec(
+                kind="fleet",
+                num_shards=4,
+                min_replicas=1,
+                max_replicas=3,
+                admission_limit=5,
+                slo_p99_ms=7.5,
+            ),
+            **_QUICK,
+        )
+        fleet = Engine.from_spec(spec).serving_engine
+        assert fleet.fleet_config.admission_limit == 5
+        assert fleet.fleet_config.slo_p99_ms == 7.5
+        assert fleet.fleet_config.replica_ceiling == 3
 
     def test_serving_without_section_raises(self):
         engine = Engine.from_spec(RunSpec(**_QUICK))
@@ -287,3 +317,17 @@ class TestShippedSpecs:
         assert engine.serving_engine.num_shards == 2
         assert report.serving.metrics.num_requests > 0
         assert report.serving.extras["num_shards"] == 2.0
+
+    def test_fleet_serving_spec(self):
+        engine = Engine.from_spec(SPEC_DIR / "serve_fleet.json")
+        report = engine.run()
+        assert report.serving is not None
+        assert type(engine.serving_engine) is FleetServingEngine
+        assert report.serving.engine == "PiPAD-Fleet-x4"
+        assert report.serving.metrics.num_requests > 0
+        assert report.serving.extras["rejected_requests"] >= 0.0
+        # Node-sharding keeps each replica well under the full window.
+        assert (
+            report.serving.extras["per_replica_store_bytes"]
+            < report.serving.extras["fleet_store_bytes"]
+        )

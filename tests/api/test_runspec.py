@@ -48,6 +48,25 @@ class TestRoundTrip:
         assert restored == spec
         assert restored.serving.trace.seed == 99
 
+    def test_json_round_trip_with_fleet_serving(self):
+        spec = RunSpec(
+            dataset="covid19_england",
+            serving=ServingSpec(
+                kind="fleet",
+                num_shards=4,
+                min_replicas=2,
+                max_replicas=3,
+                admission_limit=8,
+                slo_p99_ms=1.5,
+                partition_mode="nodes",
+                trace=TraceSpec(num_events=40, seed=3),
+            ),
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.serving.max_replicas == 3
+        assert restored.serving.partition_mode == "nodes"
+
     def test_to_dict_is_plain_json_data(self):
         spec = RunSpec(dataset="pems08", serving=ServingSpec())
         data = spec.to_dict()
@@ -174,6 +193,24 @@ class TestValidation:
         with pytest.raises(ValueError, match="requires num_shards>=2"):
             ServingSpec(kind="sharded", num_shards=1)
 
+    def test_fleet_serving_requires_shards(self):
+        with pytest.raises(ValueError, match="requires num_shards>=2"):
+            ServingSpec(kind="fleet", num_shards=1)
+
+    def test_fleet_replica_bounds_ordered(self):
+        with pytest.raises(ValueError, match="min_replicas <= max_replicas"):
+            ServingSpec(kind="fleet", num_shards=2, min_replicas=3)
+        with pytest.raises(ValueError, match="min_replicas <= max_replicas"):
+            ServingSpec(kind="fleet", num_shards=4, max_replicas=5)
+
+    def test_fleet_unknown_partition_mode(self):
+        with pytest.raises(ValueError, match="unknown partition_mode"):
+            ServingSpec(kind="fleet", num_shards=2, partition_mode="metis")
+
+    def test_fleet_admission_limit_positive(self):
+        with pytest.raises(ValueError, match="admission_limit"):
+            ServingSpec(kind="fleet", num_shards=2, admission_limit=0)
+
     def test_trace_fraction_bounds(self):
         with pytest.raises(ValueError, match="request_fraction"):
             TraceSpec(request_fraction=1.5)
@@ -220,6 +257,23 @@ class TestMaterialization:
         assert cfg.window == 6
         assert cfg.max_batch_requests == 4
         assert cfg.enable_reuse is False
+
+    def test_serving_spec_materializes_fleet_config(self):
+        serving = ServingSpec(
+            kind="fleet",
+            num_shards=4,
+            min_replicas=2,
+            admission_limit=6,
+            slo_p99_ms=3.0,
+            partition_mode="nodes",
+        )
+        cfg = serving.to_fleet_config()
+        assert cfg.num_shards == 4
+        assert cfg.min_replicas == 2
+        assert cfg.admission_limit == 6
+        assert cfg.slo_p99_ms == 3.0
+        assert cfg.partition_mode == "nodes"
+        assert cfg.replica_ceiling == 4
 
     def test_data_spec_materializes_pipe_config(self):
         from repro.core.datapipe import DataPipeConfig

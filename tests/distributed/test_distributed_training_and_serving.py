@@ -257,3 +257,79 @@ class TestShardedServing:
         model = build_model("tgcn", small_graph.feature_dim, 8, seed=0)
         with pytest.raises(ValueError):
             build_sharded_serving_engine(small_graph, model, 0)
+
+
+class TestReportMergeBugfixes:
+    """Regressions for the sharded report-merge semantics.
+
+    ``rows_touched`` must aggregate as a fleet-wide *sum* (it counts patch
+    work actually done), ``deltas_ingested`` as the *logical* delta count,
+    reuse-stat gauges as means, and the wall clock must start at first
+    traffic, not at engine construction.
+    """
+
+    def make_engine(self, graph, num_shards):
+        model = build_model("tgcn", graph.feature_dim, 8, seed=0)
+        return build_sharded_serving_engine(graph, model, num_shards)
+
+    def deltas_from_trace(self, graph, seed=7):
+        trace = synthesize_serving_trace(graph[-1], 40, seed=seed)
+        return [e.delta for e in trace if e.kind == "delta"]
+
+    def test_rows_touched_sums_divergent_shard_traffic(self, small_graph):
+        """Pinned: report() used to copy replica 0's rows_touched verbatim."""
+        engine = self.make_engine(small_graph, 2)
+        first, second = self.deltas_from_trace(small_graph)[:2]
+        engine.ingest(first, at=0.0)  # broadcast: both replicas touch rows
+        # Replica 1 alone absorbs a second delta — the shards now disagree.
+        engine.replicas[1].ingest(second, at=0.0)
+        per_replica = [r.metrics.rows_touched for r in engine.replicas]
+        assert per_replica[1] > per_replica[0]
+        merged = engine.report().metrics
+        assert merged.rows_touched == sum(per_replica)
+        assert merged.rows_touched != per_replica[0]
+
+    def test_deltas_ingested_counts_logical_deltas(self, small_graph):
+        engine = self.make_engine(small_graph, 3)
+        for delta in self.deltas_from_trace(small_graph)[:3]:
+            engine.ingest(delta, at=0.0)
+        # Each broadcast lands on all 3 replicas but is ONE logical delta.
+        assert engine.report().metrics.deltas_ingested == 3
+
+    def test_reuse_gauges_average_while_counters_sum(self, small_graph):
+        engine = self.make_engine(small_graph, 2)
+        trace = synthesize_serving_trace(small_graph[-1], 40, seed=9)
+        report = engine.run_trace(trace)
+        stats = [r.session.stats() for r in engine.replicas]
+        # Gauges (point-in-time sizes) merge as the mean across replicas...
+        for key in ("cpu_cached_snapshots", "gpu_resident_snapshots", "gpu_buffer_bytes"):
+            assert report.reuse_stats[key] == pytest.approx(
+                np.mean([s[key] for s in stats])
+            )
+        # ...while event counters keep summing fleet-wide.
+        for key in ("cpu_hits", "gpu_hits", "misses", "rows_patched"):
+            assert report.reuse_stats[key] == pytest.approx(
+                sum(s[key] for s in stats)
+            )
+
+    def test_wall_clock_starts_at_first_traffic(self, small_graph):
+        import time as _time
+
+        from repro.serving import ServingConfig
+        from repro.serving.scheduler import _build_serving_scheduler
+
+        model = build_model("tgcn", small_graph.feature_dim, 8, seed=0)
+        single = _build_serving_scheduler(
+            small_graph, model, ServingConfig(window=4)
+        )
+        sharded = self.make_engine(small_graph, 2)
+        # Idle engines report zero host wall time, however old they are.
+        assert single.report().wall_seconds == 0.0
+        assert sharded.report().wall_seconds == 0.0
+        # Time spent between construction and first traffic is excluded.
+        pause = 0.2
+        _time.sleep(pause)
+        for engine in (single, sharded):
+            engine.submit([0], at=0.0)
+            engine.pump(0.0, force=True)
+            assert 0.0 < engine.report().wall_seconds < pause

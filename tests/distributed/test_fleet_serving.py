@@ -1,0 +1,389 @@
+"""Tests for the fleet serving engine: routing, admission, autoscale, parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    FleetConfig,
+    FleetServingEngine,
+    build_fleet_serving_engine,
+    build_sharded_serving_engine,
+)
+from repro.nn import build_model
+from repro.serving import ServingConfig, synthesize_serving_trace
+from repro.serving.scheduler import _build_serving_scheduler
+from repro.telemetry.hooks import TelemetryCallback
+
+
+def make_fleet(graph, *, fleet=None, model_seed=0, **config_kwargs):
+    defaults = dict(window=4, max_batch_requests=4, max_delay_ms=0.5)
+    defaults.update(config_kwargs)
+    model = build_model("tgcn", graph.feature_dim, 8, seed=model_seed)
+    return build_fleet_serving_engine(
+        graph, model, fleet or FleetConfig(num_shards=3), ServingConfig(**defaults)
+    )
+
+
+def shard_interior_node(engine: FleetServingEngine, shard: int) -> int:
+    """A node id strictly owned by ``shard`` under the engine's plan."""
+    return int(engine.boundaries[shard])
+
+
+class PhaseRecorder(TelemetryCallback):
+    def __init__(self) -> None:
+        self.phases = []
+
+    def on_phase_start(self, phase, at):
+        self.phases.append(("start", phase, at))
+
+    def on_phase_end(self, phase, at):
+        self.phases.append(("end", phase, at))
+
+
+class TestFleetRouting:
+    def test_requests_route_to_owner_shard(self, small_graph):
+        engine = make_fleet(
+            small_graph, fleet=FleetConfig(num_shards=3, min_replicas=3)
+        )
+        for shard in range(3):
+            lo, hi = int(engine.boundaries[shard]), int(engine.boundaries[shard + 1])
+            gid = engine.submit(range(lo, hi), at=0.0)
+            assert engine.route_of(gid)[0] == shard
+            assert engine.owner_of(lo) == shard
+
+    def test_majority_owner_wins(self, small_graph):
+        engine = make_fleet(
+            small_graph, fleet=FleetConfig(num_shards=3, min_replicas=3)
+        )
+        two_here = [shard_interior_node(engine, 1), shard_interior_node(engine, 1) ]
+        one_there = [shard_interior_node(engine, 0)]
+        gid = engine.submit(two_here + one_there, at=0.0)
+        assert engine.route_of(gid)[0] == 1
+
+    def test_owner_tie_breaks_by_queue_depth(self, small_graph):
+        engine = make_fleet(
+            small_graph,
+            fleet=FleetConfig(num_shards=2, min_replicas=2, admission_limit=32),
+            max_batch_requests=32,
+            max_delay_ms=50.0,
+        )
+        # Load shard 0's queue without pumping.
+        for _ in range(3):
+            engine.submit([shard_interior_node(engine, 0)], at=0.0)
+        assert engine.replicas[0].batcher.pending == 3
+        # One node from each shard: ownership ties, lower queue depth wins.
+        tied = [shard_interior_node(engine, 0), shard_interior_node(engine, 1)]
+        gid = engine.submit(tied, at=0.0)
+        assert engine.route_of(gid)[0] == 1
+
+    def test_replicas_share_one_store(self, small_graph):
+        engine = make_fleet(small_graph)
+        assert all(replica.store is engine.store for replica in engine.replicas)
+        # One delta application advances every replica's view at once.
+        trace = synthesize_serving_trace(small_graph[-1], 30, seed=2)
+        delta = next(e.delta for e in trace if e.kind == "delta")
+        before = engine.store.deltas_applied
+        engine.ingest(delta, at=0.0)
+        assert engine.store.deltas_applied == before + 1
+        versions = {tuple(r.store.window_versions()) for r in engine.replicas}
+        assert len(versions) == 1
+
+
+class TestAdmissionControl:
+    def make_admission_fleet(self, graph, limit=2):
+        return make_fleet(
+            graph,
+            fleet=FleetConfig(num_shards=2, min_replicas=1, admission_limit=limit),
+            max_batch_requests=32,
+            max_delay_ms=50.0,
+        )
+
+    def test_sheds_requests_above_queue_limit(self, small_graph):
+        engine = self.make_admission_fleet(small_graph, limit=2)
+        ids = [engine.submit([1], at=0.0) for _ in range(5)]
+        assert ids[:2] == [0, 1]
+        assert ids[2:] == [None, None, None]
+        assert engine.rejected_requests == 3
+        assert engine.replicas[0].batcher.pending == 2
+
+    def test_global_ids_stay_contiguous_after_rejections(self, small_graph):
+        """Shed requests must not burn global ids or poison the id mapping."""
+        engine = self.make_admission_fleet(small_graph, limit=2)
+        admitted = []
+        for k in range(6):
+            gid = engine.submit([k], at=0.0)
+            if gid is not None:
+                admitted.append(gid)
+            if k == 3:  # drain so later submissions are admitted again
+                engine.pump(0.0, force=True)
+        assert admitted == list(range(len(admitted)))
+        for gid in admitted:
+            shard, local = engine.route_of(gid)
+            assert engine._to_global(shard, local) == gid
+        results = engine.pump(0.0, force=True)
+        predicted = set()
+        for result in results:
+            predicted.update(result.predictions)
+        assert predicted <= set(admitted)
+        report = engine.report()
+        assert report.extras["rejected_requests"] == float(engine.rejected_requests)
+        assert report.extras["admitted_requests"] == float(len(admitted))
+        assert report.metrics.num_requests == len(admitted)
+
+    def test_no_shedding_below_limit(self, small_graph):
+        engine = self.make_admission_fleet(small_graph, limit=8)
+        ids = [engine.submit([k], at=0.0) for k in range(5)]
+        assert None not in ids
+        assert engine.rejected_requests == 0
+
+
+class TestAutoscale:
+    def pressure_fleet(self, graph, **fleet_kwargs):
+        defaults = dict(
+            num_shards=3,
+            min_replicas=1,
+            admission_limit=64,
+            slo_p99_ms=1e-6,
+            scale_window=4,
+            scale_cooldown=2,
+        )
+        defaults.update(fleet_kwargs)
+        return make_fleet(graph, fleet=FleetConfig(**defaults))
+
+    def test_scales_up_under_slo_pressure(self, small_graph):
+        engine = self.pressure_fleet(small_graph)
+        trace = synthesize_serving_trace(
+            small_graph[-1], 60, seed=5, mean_interarrival_ms=0.05
+        )
+        report = engine.run_trace(trace)
+        assert engine.active_replicas > 1
+        assert any(e.direction == "up" for e in engine.scale_events)
+        assert report.extras["scale_up_events"] >= 1.0
+        assert report.extras["active_replicas"] == float(engine.active_replicas)
+
+    def test_scale_events_emitted_through_hooks(self, small_graph):
+        engine = self.pressure_fleet(small_graph)
+        recorder = PhaseRecorder()
+        engine.hooks = recorder
+        trace = synthesize_serving_trace(
+            small_graph[-1], 60, seed=5, mean_interarrival_ms=0.05
+        )
+        engine.run_trace(trace)
+        scale_phases = [p for p in recorder.phases if p[1].startswith("fleet_scale_")]
+        assert scale_phases, "no scale phase events reached the telemetry hooks"
+        # Every scale event opens and closes its phase.
+        starts = [p for p in scale_phases if p[0] == "start"]
+        ends = [p for p in scale_phases if p[0] == "end"]
+        assert len(starts) == len(ends) == len(engine.scale_events)
+
+    def test_scales_down_when_latency_has_headroom(self, small_graph):
+        engine = self.pressure_fleet(small_graph, slo_p99_ms=1e9)
+        engine._active = 3  # as if a previous burst had scaled the pool up
+        trace = synthesize_serving_trace(small_graph[-1], 60, seed=6)
+        report = engine.run_trace(trace)
+        assert engine.active_replicas < 3
+        assert any(e.direction == "down" for e in engine.scale_events)
+        assert report.extras["scale_down_events"] >= 1.0
+
+    def test_pool_respects_ceiling_and_floor(self, small_graph):
+        engine = self.pressure_fleet(small_graph, max_replicas=2)
+        trace = synthesize_serving_trace(
+            small_graph[-1], 80, seed=5, mean_interarrival_ms=0.05
+        )
+        engine.run_trace(trace)
+        assert engine.active_replicas <= 2
+        assert all(e.active_replicas <= 2 for e in engine.scale_events)
+
+    def test_inactive_replicas_absorb_deltas(self, small_graph):
+        engine = self.pressure_fleet(small_graph)  # only replica 0 active
+        trace = synthesize_serving_trace(small_graph[-1], 30, seed=2)
+        delta = next(e.delta for e in trace if e.kind == "delta")
+        engine.ingest(delta, at=0.0)
+        assert all(r.metrics.deltas_ingested == 1 for r in engine.replicas)
+
+
+class TestHaloGather:
+    def test_remote_rows_charge_a_gather(self, small_graph):
+        engine = make_fleet(
+            small_graph, fleet=FleetConfig(num_shards=2, min_replicas=2)
+        )
+        # Entirely local request: no halo traffic.
+        engine.submit([shard_interior_node(engine, 0)], at=0.0)
+        engine.pump(0.0, force=True)
+        assert engine.halo_gather_batches == 0
+        # Majority shard 0, one remote row: the batch pays a gather.
+        spanning = [
+            shard_interior_node(engine, 0),
+            int(engine.boundaries[1]) - 1,
+            shard_interior_node(engine, 1),
+        ]
+        gid = engine.submit(spanning, at=0.0)
+        assert engine.route_of(gid)[0] == 0
+        engine.pump(0.0, force=True)
+        assert engine.halo_gather_batches == 1
+        assert engine.halo_gather_bytes > 0
+        report = engine.report()
+        assert report.extras["halo_gather_bytes"] == pytest.approx(
+            engine.halo_gather_bytes
+        )
+        assert report.extras["halo_gather_seconds"] > 0
+
+
+class TestFleetReport:
+    def test_zero_request_shard_keeps_nan_percentiles(self, small_graph):
+        engine = make_fleet(
+            small_graph, fleet=FleetConfig(num_shards=3, min_replicas=3)
+        )
+        # All traffic inside shard 0's range: shards 1 and 2 stay idle.
+        for _ in range(4):
+            engine.submit([shard_interior_node(engine, 0)], at=0.0)
+        engine.pump(0.0, force=True)
+        report = engine.report()
+        assert report.extras["shard1_requests"] == 0.0
+        assert report.extras["shard2_requests"] == 0.0
+        assert np.isnan(engine.replicas[1].metrics.latency_percentile(99.0))
+        assert np.isfinite(report.metrics.p99_latency)
+        assert report.metrics.num_requests == 4
+
+    def test_node_sharded_store_accounting(self, small_graph):
+        engine = make_fleet(small_graph, fleet=FleetConfig(num_shards=3))
+        report = engine.report()
+        full = report.extras["fleet_store_bytes"]
+        per_replica = report.extras["per_replica_store_bytes"]
+        assert full == float(engine.store.window_bytes())
+        # Node-sharding must beat full replication per replica (halo rows and
+        # the compacted CSR keep it above exactly 1/K).
+        assert per_replica < full
+        shard_bytes = [report.extras[f"shard{s}_store_bytes"] for s in range(3)]
+        assert np.mean(shard_bytes) == pytest.approx(per_replica)
+
+    def test_prefetch_aggregates_surface(self, small_graph):
+        engine = make_fleet(small_graph, fleet=FleetConfig(num_shards=2, min_replicas=2))
+        trace = synthesize_serving_trace(small_graph[-1], 40, seed=3)
+        report = engine.run_trace(trace)
+        assert report.extras["prefetch_depth"] == float(
+            engine.replicas[0].data.prefetch_depth
+        )
+        assert report.extras["prefetch_host_seconds"] == pytest.approx(
+            sum(r.prefetcher.stats()["prefetch_host_seconds"] for r in engine.replicas)
+        )
+        assert report.engine == "PiPAD-Fleet-x2"
+
+
+class TestDeterminismAndParity:
+    def test_run_trace_replay_is_deterministic(self, small_graph):
+        """Golden-style: two identically built fleets replay one trace to
+        byte-identical request records, rejections and scale decisions."""
+        trace = synthesize_serving_trace(
+            small_graph[-1], 60, seed=9, mean_interarrival_ms=0.05
+        )
+        fleet_cfg = dict(
+            num_shards=3, min_replicas=1, admission_limit=3, slo_p99_ms=0.5,
+            scale_window=4, scale_cooldown=2,
+        )
+        reports = []
+        engines = []
+        for _ in range(2):
+            engine = make_fleet(
+                small_graph,
+                fleet=FleetConfig(**fleet_cfg),
+                max_batch_requests=8,
+                max_delay_ms=5.0,
+            )
+            reports.append(engine.run_trace(list(trace)))
+            engines.append(engine)
+        a, b = reports
+        assert [
+            (r.request_id, r.batch_id, r.arrival_time, r.completion_time)
+            for r in a.metrics.requests
+        ] == [
+            (r.request_id, r.batch_id, r.arrival_time, r.completion_time)
+            for r in b.metrics.requests
+        ]
+        assert engines[0].rejected_requests == engines[1].rejected_requests
+        assert engines[0].scale_events == engines[1].scale_events
+        assert a.simulated_seconds == b.simulated_seconds
+
+    @pytest.mark.parametrize("enable_reuse", [False, True])
+    def test_predictions_match_single_device(self, small_graph, enable_reuse):
+        """Node-sharding, routing and halo gathers are scheduling-only: every
+        admitted request's prediction rows match the single-device engine.
+
+        With the reuse cache off the match is bit-identical.  With it on, the
+        incremental delta patch depends on which session was warm when the
+        delta landed (a pre-existing property of ``InferenceSession.refresh``,
+        shared with the round-robin sharded engine), so the match is only
+        up to float32 patch-vs-recompute rounding.
+        """
+        model = build_model("tgcn", small_graph.feature_dim, 8, seed=0)
+        config = ServingConfig(
+            window=4,
+            max_batch_requests=4,
+            max_delay_ms=0.5,
+            enable_reuse=enable_reuse,
+        )
+        single = _build_serving_scheduler(small_graph, model, config)
+        fleet = build_fleet_serving_engine(
+            small_graph,
+            model,
+            FleetConfig(num_shards=3, min_replicas=3, admission_limit=1024),
+            config,
+        )
+        trace = synthesize_serving_trace(small_graph[-1], 60, seed=13)
+        single_preds, fleet_preds, pairs = {}, {}, []
+        for event in sorted(trace, key=lambda e: e.time):
+            for result in fleet.pump(event.time):
+                fleet_preds.update(result.predictions)
+            for result in single.pump(event.time):
+                single_preds.update(result.predictions)
+            if event.kind == "delta":
+                fleet.ingest(event.delta, at=event.time)
+                single.ingest(event.delta, at=event.time)
+            else:
+                pairs.append(
+                    (
+                        fleet.submit(event.node_ids, at=event.time),
+                        single.submit(event.node_ids, at=event.time),
+                    )
+                )
+        for result in fleet.pump(None, force=True):
+            fleet_preds.update(result.predictions)
+        for result in single.pump(None, force=True):
+            single_preds.update(result.predictions)
+        assert pairs and all(fid is not None for fid, _ in pairs)
+        for fleet_id, single_id in pairs:
+            if enable_reuse:
+                np.testing.assert_allclose(
+                    fleet_preds[fleet_id], single_preds[single_id], rtol=1e-5
+                )
+            else:
+                np.testing.assert_array_equal(
+                    fleet_preds[fleet_id], single_preds[single_id]
+                )
+
+
+class TestFleetValidation:
+    def test_config_bounds_rejected(self):
+        with pytest.raises(ValueError, match="min_replicas"):
+            FleetConfig(num_shards=2, min_replicas=3)
+        with pytest.raises(ValueError, match="min_replicas"):
+            FleetConfig(num_shards=4, max_replicas=5)
+        with pytest.raises(ValueError, match="partition mode"):
+            FleetConfig(num_shards=2, partition_mode="metis")
+        with pytest.raises(ValueError):
+            FleetConfig(num_shards=0)
+
+    def test_replica_count_must_match_config(self, small_graph):
+        engine = make_fleet(small_graph, fleet=FleetConfig(num_shards=2))
+        with pytest.raises(ValueError, match="replicas were provided"):
+            FleetServingEngine(engine.replicas, engine.store, FleetConfig(num_shards=3))
+
+    def test_replicas_must_share_the_store(self, small_graph):
+        model = build_model("tgcn", small_graph.feature_dim, 8, seed=0)
+        sharded = build_sharded_serving_engine(small_graph, model, 2)
+        with pytest.raises(ValueError, match="share one IncrementalSnapshotStore"):
+            FleetServingEngine(
+                sharded.replicas, sharded.replicas[0].store, FleetConfig(num_shards=2)
+            )
