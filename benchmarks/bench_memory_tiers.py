@@ -1,0 +1,124 @@
+"""Benchmark: GPU-budget sweep of the multi-tier feature cache.
+
+Trains one workload uncached and then at increasing GPU-tier budgets, and
+prints hit rate + steady-epoch time per budget.  The sweep isolates what
+each tier buys: at 0 MiB every block lives in pinned/spill host tiers (hits
+skip gather+pin but still pay PCIe), while at the largest budget the whole
+feature working set is GPU-resident and steady epochs skip the transfer
+path entirely.  A final oversized run — feature bytes past the simulated
+16 GiB HBM — proves the cache makes an otherwise inexpressible workload
+trainable; uncached it must refuse with ``OutOfMemoryError``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from conftest import run_once, write_bench_json
+
+from repro.api import Engine, RunSpec
+from repro.api.cli import PRESETS
+from repro.gpu.device import OutOfMemoryError
+
+#: GPU-tier budgets (MiB) swept on the fitting workload; 64 MiB fits 100%
+#: of the workload's feature blocks
+BUDGETS_MB = (0.0, 1.0, 64.0)
+
+
+def _fitting_spec(budget_mb, quick: bool) -> RunSpec:
+    data = json.loads(json.dumps(PRESETS["quick"]))  # deep copy
+    data.update(epochs=2 if quick else 3)
+    if budget_mb is not None:
+        data["memory"] = {
+            "feature_cache": True,
+            "gpu_budget_mb": budget_mb,
+            "pinned_budget_mb": 1.0,
+            "block_rows": 32,
+        }
+    return RunSpec.from_dict(data)
+
+
+def _oversized_spec(quick: bool, *, cached: bool) -> RunSpec:
+    data = json.loads(json.dumps(PRESETS["train-oversized"]))  # deep copy
+    data.pop("serving")  # training throughput only
+    if quick:
+        data.update(num_snapshots=8, epochs=2)
+    if not cached:
+        del data["memory"]
+    return RunSpec.from_dict(data)
+
+
+def _sweep(quick: bool):
+    results = {
+        budget: Engine.from_spec(_fitting_spec(budget, quick)).run().training
+        for budget in (None,) + BUDGETS_MB
+    }
+    oversized = Engine.from_spec(_oversized_spec(quick, cached=True)).run().training
+    return results, oversized
+
+
+def test_memory_tier_sweep(benchmark, request):
+    quick = request.config.getoption("--quick")
+    results, oversized = run_once(benchmark, _sweep, quick)
+
+    uncached = results[None]
+    rows = []
+    for budget in BUDGETS_MB:
+        result = results[budget]
+        rows.append(
+            {
+                "gpu_budget_mb": budget,
+                "hit_rate": result.extras["feature_cache_hit_rate"],
+                "gpu_hits": result.extras["feature_cache_gpu_hits"],
+                "pinned_hits": result.extras["feature_cache_pinned_hits"],
+                "spill_hits": result.extras["feature_cache_spill_hits"],
+                "steady_epoch_seconds": result.steady_epoch_seconds,
+                "speedup_vs_uncached": (
+                    uncached.steady_epoch_seconds / result.steady_epoch_seconds
+                ),
+                "final_loss": result.final_loss,
+            }
+        )
+
+    print("\nfeature-cache GPU-budget sweep (quick workload)")
+    print(f"{'budget MiB':>10} {'hit rate':>9} {'steady epoch (s)':>17} {'speedup':>8}")
+    print(f"{'uncached':>10} {'-':>9} {uncached.steady_epoch_seconds:>17.6f} {'1.000':>8}")
+    for row in rows:
+        print(
+            f"{row['gpu_budget_mb']:>10.0f} {row['hit_rate']:>9.3f} "
+            f"{row['steady_epoch_seconds']:>17.6f} {row['speedup_vs_uncached']:>8.3f}"
+        )
+    print(
+        f"oversized (cached): steady epoch {oversized.steady_epoch_seconds:.6f}s, "
+        f"hit rate {oversized.extras['feature_cache_hit_rate']:.3f}"
+    )
+    write_bench_json(
+        "memory",
+        {
+            "workload": "quick",
+            "rows": rows,
+            "uncached_steady_epoch_seconds": uncached.steady_epoch_seconds,
+            "oversized": {
+                "workload": "train-oversized",
+                "steady_epoch_seconds": oversized.steady_epoch_seconds,
+                "hit_rate": oversized.extras["feature_cache_hit_rate"],
+                "final_loss": oversized.final_loss,
+            },
+        },
+    )
+
+    # Accounting-only invariant: every budget trains bit-identically.
+    reference = uncached.loss_curve()
+    for budget in BUDGETS_MB:
+        assert results[budget].loss_curve() == reference
+    # Acceptance: at 100% fit the cache never loses throughput, and the
+    # repeated epochs actually hit the GPU tier.
+    full_fit = results[BUDGETS_MB[-1]]
+    assert full_fit.extras["feature_cache_gpu_hits"] > 0
+    assert full_fit.steady_epoch_seconds <= uncached.steady_epoch_seconds
+    # Acceptance: the oversized workload completes cached...
+    assert oversized.final_loss == oversized.final_loss  # finite, not NaN
+    # ...and is refused uncached.
+    with pytest.raises(OutOfMemoryError):
+        Engine.from_spec(_oversized_spec(quick, cached=False)).run()

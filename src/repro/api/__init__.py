@@ -36,6 +36,7 @@ from repro.api.spec import (
     SERVING_KINDS,
     DataSpec,
     DeviceSpec,
+    MemorySpec,
     RunSpec,
     ServingSpec,
     TelemetrySpec,
@@ -53,6 +54,7 @@ __all__ = [
     "DeviceSpec",
     "Engine",
     "INTERCONNECT_KINDS",
+    "MemorySpec",
     "PIPAD_FIELDS",
     "RunReport",
     "RunSpec",

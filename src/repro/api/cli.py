@@ -90,6 +90,31 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         },
         "data": {"pipeline": "staged", "prefetch_depth": 2, "pin_memory": True},
     },
+    "train-oversized": {
+        # Feature working set ~20.6 GiB against a 16 GiB simulated HBM:
+        # inexpressible without the multi-tier feature cache, which pages the
+        # overflow through pinned host memory and the spill tier.
+        "dataset": "flickr",
+        "model": "tgcn",
+        "method": "pipad",
+        "num_snapshots": 10,
+        "frame_size": 8,
+        "epochs": 2,
+        "cost_scale": 150000.0,
+        "memory": {
+            "feature_cache": True,
+            "gpu_budget_mb": 2048.0,
+            "pinned_budget_mb": 1024.0,
+            "block_rows": 64,
+        },
+        "serving": {
+            "kind": "local",
+            "window": 8,
+            "max_batch_requests": 8,
+            "max_delay_ms": 1.0,
+            "trace": {"num_events": 40, "seed": 7},
+        },
+    },
     "fleet-serving": {
         "dataset": "youtube",
         "model": "tgcn",
@@ -201,6 +226,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.core.datapipe import STAGE_REGISTRY
     from repro.experiments import list_experiments
     from repro.graph.datasets import DATASET_ORDER
+    from repro.memory import CACHE_POLICY_REGISTRY
     from repro.nn import MODEL_ORDER
     from repro.telemetry.chrome_trace import EXPORTER_REGISTRY
     from repro.telemetry.hooks import CALLBACK_REGISTRY
@@ -213,6 +239,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "serving_kinds": {k: v.description for k, v in SERVING_REGISTRY.items()},
         "datapipes": {k: v.description for k, v in DATAPIPE_REGISTRY.items()},
         "datapipe_stages": dict(STAGE_REGISTRY),
+        "cache_policies": {
+            name: description
+            for name, (_, description) in CACHE_POLICY_REGISTRY.items()
+        },
         "experiments": list_experiments(),
         "presets": sorted(PRESETS),
         "telemetry_callbacks": dict(CALLBACK_REGISTRY),

@@ -99,6 +99,7 @@ def _build_single_device_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrai
             spec.trainer_config(),
             pipad_config=spec.pipad_config(),
             data_config=build_pipe_config(spec),
+            memory_config=spec.memory.to_memory_config(),
         )
     return cls(graph, spec.trainer_config())
 
@@ -116,6 +117,7 @@ def _build_group_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrainerBase:
             interconnect=spec.device.interconnect,
         ),
         data_config=build_pipe_config(spec),
+        memory_config=spec.memory.to_memory_config(),
     )
 
 
@@ -132,6 +134,7 @@ def _build_pipeline_trainer(spec: RunSpec, graph: DynamicGraph) -> DGNNTrainerBa
             schedule=spec.device.schedule,
         ),
         data_config=build_pipe_config(spec),
+        memory_config=spec.memory.to_memory_config(),
     )
 
 
@@ -164,6 +167,16 @@ DEVICE_REGISTRY: Dict[str, DeviceKind] = {
 
 
 # ------------------------------------------------------------------ serving
+def _serving_scale(spec: RunSpec) -> float:
+    """Per-row cost multiplier the serving engines inherit from the spec.
+
+    Only an *explicit* ``cost_scale`` carries over — the dataset-derived
+    training default stays a training concern, so specs without the knob
+    keep today's serving timings bit-for-bit.
+    """
+    return float(spec.cost_scale) if spec.cost_scale is not None else 1.0
+
+
 def _build_local_serving(
     spec: RunSpec, graph: DynamicGraph, model: DGNNModel
 ) -> "ServingScheduler":  # noqa: F821 - forward ref
@@ -171,7 +184,12 @@ def _build_local_serving(
 
     assert spec.serving is not None
     return _build_serving_scheduler(
-        graph, model, spec.serving.to_serving_config(), data=build_pipe_config(spec)
+        graph,
+        model,
+        spec.serving.to_serving_config(),
+        data=build_pipe_config(spec),
+        scale=_serving_scale(spec),
+        memory=spec.memory.to_memory_config(),
     )
 
 
@@ -187,6 +205,8 @@ def _build_sharded_serving(
         spec.serving.num_shards,
         spec.serving.to_serving_config(),
         data=build_pipe_config(spec),
+        scale=_serving_scale(spec),
+        memory=spec.memory.to_memory_config(),
     )
 
 
@@ -202,6 +222,8 @@ def _build_fleet_serving(
         spec.serving.to_fleet_config(),
         spec.serving.to_serving_config(),
         data=build_pipe_config(spec),
+        scale=_serving_scale(spec),
+        memory=spec.memory.to_memory_config(),
     )
 
 

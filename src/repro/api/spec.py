@@ -260,6 +260,78 @@ class DataSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class MemorySpec(_SpecBase):
+    """Memory section of a run: the multi-tier feature cache.
+
+    Declares whether feature rows flow through the
+    :class:`~repro.memory.FeatureCache` (GPU-resident tier over
+    pinned-host and host-spill tiers) and how the tiers are sized.  The
+    GPU-tier budget is derived from ``GPUSpec.memory_gb`` minus the
+    model/activation reservations (``gpu/memory_model.
+    feature_cache_budget_bytes``) unless ``gpu_budget_mb`` pins it
+    explicitly.  Accounting-only: losses and predictions are identical
+    with the cache on or off — but graphs whose feature bytes exceed a
+    device's HBM *require* ``feature_cache=true`` to run at all.
+    """
+
+    #: route feature rows through the multi-tier cache
+    feature_cache: bool = False
+    #: eviction policy (key of ``repro.memory.CACHE_POLICY_REGISTRY``)
+    policy: str = "lru"
+    #: fraction of HBM left after model/activation reservations granted
+    #: to the GPU tier (ignored when ``gpu_budget_mb`` is set)
+    gpu_budget_fraction: float = 0.5
+    #: explicit GPU-tier budget in MiB (``None`` derives it from the spec)
+    gpu_budget_mb: Optional[float] = None
+    #: pinned-host tier budget in MiB (the pin stage's staging buffer)
+    pinned_budget_mb: float = 256.0
+    #: host-spill tier budget in MiB (``None`` = unbounded host memory)
+    spill_budget_mb: Optional[float] = None
+    #: feature rows per cache block (granularity of hits and invalidation)
+    block_rows: int = 256
+
+    def __post_init__(self) -> None:
+        from repro.memory.policy import CACHE_POLICY_REGISTRY
+
+        if self.policy not in CACHE_POLICY_REGISTRY:
+            raise ValueError(
+                f"unknown cache policy {self.policy!r}; valid policies: "
+                f"{_known_choices(CACHE_POLICY_REGISTRY)}"
+            )
+        if not 0.0 <= self.gpu_budget_fraction <= 1.0:
+            raise ValueError(
+                f"gpu_budget_fraction must be in [0, 1], got {self.gpu_budget_fraction}"
+            )
+        if self.gpu_budget_mb is not None and self.gpu_budget_mb < 0:
+            raise ValueError(f"gpu_budget_mb must be >= 0, got {self.gpu_budget_mb}")
+        if self.pinned_budget_mb < 0:
+            raise ValueError(
+                f"pinned_budget_mb must be >= 0, got {self.pinned_budget_mb}"
+            )
+        if self.spill_budget_mb is not None and self.spill_budget_mb < 0:
+            raise ValueError(
+                f"spill_budget_mb must be >= 0, got {self.spill_budget_mb}"
+            )
+        if not isinstance(self.block_rows, int) or isinstance(self.block_rows, bool):
+            raise ValueError(f"block_rows must be an int, got {self.block_rows!r}")
+        check_positive("block_rows", self.block_rows)
+
+    def to_memory_config(self) -> "MemoryConfig":  # noqa: F821 - forward ref
+        """Materialize the core-level :class:`repro.memory.MemoryConfig`."""
+        from repro.memory.cache import MemoryConfig
+
+        return MemoryConfig(
+            feature_cache=self.feature_cache,
+            policy=self.policy,
+            gpu_budget_fraction=self.gpu_budget_fraction,
+            gpu_budget_mb=self.gpu_budget_mb,
+            pinned_budget_mb=self.pinned_budget_mb,
+            spill_budget_mb=self.spill_budget_mb,
+            block_rows=self.block_rows,
+        )
+
+
+@dataclass(frozen=True)
 class ServingSpec(_SpecBase):
     """Online-serving section of a run: engine topology + scheduler knobs."""
 
@@ -376,6 +448,8 @@ class RunSpec(_SpecBase):
     device: DeviceSpec = field(default_factory=DeviceSpec)
     #: data pipeline: stage composition, prefetch depth, pinning
     data: DataSpec = field(default_factory=DataSpec)
+    #: multi-tier feature cache: tiers, budgets, eviction policy
+    memory: MemorySpec = field(default_factory=MemorySpec)
     #: optional online-serving phase; ``None`` means a training-only run
     serving: Optional[ServingSpec] = None
     #: observability: exporters + callback sinks (enabled by default)
@@ -392,6 +466,8 @@ class RunSpec(_SpecBase):
             object.__setattr__(self, "device", DeviceSpec.from_dict(self.device))
         if isinstance(self.data, Mapping):
             object.__setattr__(self, "data", DataSpec.from_dict(self.data))
+        if isinstance(self.memory, Mapping):
+            object.__setattr__(self, "memory", MemorySpec.from_dict(self.memory))
         if isinstance(self.serving, Mapping):
             object.__setattr__(self, "serving", ServingSpec.from_dict(self.serving))
         if isinstance(self.telemetry, Mapping):
@@ -482,6 +558,7 @@ class RunSpec(_SpecBase):
 _NESTED_SPECS: Dict[Tuple[str, str], type] = {
     ("RunSpec", "device"): DeviceSpec,
     ("RunSpec", "data"): DataSpec,
+    ("RunSpec", "memory"): MemorySpec,
     ("RunSpec", "serving"): ServingSpec,
     ("RunSpec", "telemetry"): TelemetrySpec,
     ("ServingSpec", "trace"): TraceSpec,

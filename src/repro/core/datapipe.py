@@ -117,6 +117,14 @@ class PipeItem:
     #: scales the ``slice`` stage only (distributed shards index a fraction
     #: of the nodes; ``gather``/``pin`` already follow the sharded bytes)
     slice_scale: float = 1.0
+    #: bytes the ``gather`` stage must collect; ``None`` means
+    #: ``transfer_bytes``.  The feature cache sets this lower when rows
+    #: already sit in the pinned-host staging tier (skip gather+pin but
+    #: still pay the h2d copy).
+    gather_bytes: Optional[float] = None
+    #: bytes the ``pin`` stage must copy into page-locked memory; ``None``
+    #: means ``transfer_bytes``
+    pin_bytes: Optional[float] = None
 
 
 class DataPipe:
@@ -185,9 +193,11 @@ class DataPipe:
         if stage == STAGE_SLICE:
             return item.num_snapshots * self.host.snapshot_prep_us * 1e-6 * item.slice_scale
         if stage == STAGE_GATHER:
-            return item.transfer_bytes / (self.host.gather_bandwidth_gbs * 1e9)
+            nbytes = item.transfer_bytes if item.gather_bytes is None else item.gather_bytes
+            return nbytes / (self.host.gather_bandwidth_gbs * 1e9)
         if stage == STAGE_PIN:
-            return item.transfer_bytes / (self.host.pin_bandwidth_gbs * 1e9)
+            nbytes = item.transfer_bytes if item.pin_bytes is None else item.pin_bytes
+            return nbytes / (self.host.pin_bandwidth_gbs * 1e9)
         raise ValueError(f"{stage!r} is not a host stage of this pipe")
 
     def host_seconds(self, item: PipeItem) -> float:

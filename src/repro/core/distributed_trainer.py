@@ -43,6 +43,7 @@ from repro.gpu.timeline import TimelineOp
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.partition import GraphPartitioner
 from repro.graph.snapshot import GraphSnapshot
+from repro.memory import MemoryConfig
 from repro.utils.validation import check_positive
 
 #: smallest per-device cost fraction (guards ``KernelCost.scaled`` against
@@ -128,9 +129,10 @@ class DistributedTrainer(PiPADTrainer):
         pipad_config: Optional[PiPADConfig] = None,
         dist_config: Optional[DistributedConfig] = None,
         data_config: Optional[DataPipeConfig] = None,
+        memory_config: Optional[MemoryConfig] = None,
     ) -> None:
         self.dist = dist_config or DistributedConfig()
-        super().__init__(graph, config, pipad_config, data_config)
+        super().__init__(graph, config, pipad_config, data_config, memory_config)
         devices: List[SimulatedGPU] = [self.device]
         devices += [
             SimulatedGPU(
@@ -157,6 +159,12 @@ class DistributedTrainer(PiPADTrainer):
             )
             for index, dev in enumerate(devices[1:], start=1)
         ]
+        if self.feature_cache is not None:
+            # One cache per shard, sized against that device's own HBM; the
+            # node ranges they key against follow ``self.boundaries``.
+            self.feature_caches += [
+                self._build_feature_cache(dev) for dev in devices[1:]
+            ]
         # Cheap provisional plan; _run_preprocessing replans (and computes the
         # halo/edge statistics, an O(devices x snapshots x edges) sharding
         # pass) right before the first steady-state frame can consume them.
@@ -183,6 +191,9 @@ class DistributedTrainer(PiPADTrainer):
     # ------------------------------------------------------------------ cost sharing
     def _sim_now(self) -> float:
         return self.group.makespan()
+
+    def _feature_shards(self) -> int:
+        return self.dist.num_devices
 
     def _cost_fraction(self, device: int, cost: KernelCost) -> float:
         """Share of one kernel's work that lands on ``device``'s shard.
@@ -241,6 +252,10 @@ class DistributedTrainer(PiPADTrainer):
         self._halo_nodes = self.partitioner.mean_halo_nodes(
             self.graph.snapshots, self.boundaries
         )
+        # Re-sharding remaps which device owns which node blocks; any cached
+        # residency keyed against the old ranges is stale.
+        for cache in self.feature_caches:
+            cache.clear()
 
     def _run_preprocessing(self) -> None:
         super()._run_preprocessing()
@@ -265,6 +280,15 @@ class DistributedTrainer(PiPADTrainer):
                 transfer_bytes=total_bytes * fraction,
                 slice_scale=fraction,
             )
+            if self.feature_cache is not None:
+                plan = self._cache_plan(
+                    snapshots,
+                    index=index,
+                    lo=int(self.boundaries[index]),
+                    hi=int(self.boundaries[index + 1]),
+                    label=f"{item.label}_d{index}",
+                )
+                item = self._apply_cache_plan(item, plan)
             transfer_ops.append(
                 self.prefetchers[index].schedule(item, depends_on=depends_on)
             )

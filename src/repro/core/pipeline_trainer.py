@@ -56,6 +56,7 @@ from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.frame import Frame
 from repro.graph.partition import SCHEDULE_MODES, FramePartitioner
 from repro.graph.snapshot import GraphSnapshot
+from repro.memory import MemoryConfig
 from repro.utils.validation import check_positive
 
 
@@ -90,9 +91,10 @@ class PipelineTrainer(PiPADTrainer):
         pipad_config: Optional[PiPADConfig] = None,
         pipe_config: Optional[PipelineConfig] = None,
         data_config: Optional[DataPipeConfig] = None,
+        memory_config: Optional[MemoryConfig] = None,
     ) -> None:
         self.pipe = pipe_config or PipelineConfig()
-        super().__init__(graph, config, pipad_config, data_config)
+        super().__init__(graph, config, pipad_config, data_config, memory_config)
         devices: List[SimulatedGPU] = [self.device]
         devices += [
             SimulatedGPU(
@@ -118,6 +120,12 @@ class PipelineTrainer(PiPADTrainer):
             )
             for index, dev in enumerate(devices[1:], start=1)
         ]
+        if self.feature_cache is not None:
+            # One cache per pipeline stage: each stage's device stages the
+            # feature rows of its own snapshot groups.
+            self.feature_caches += [
+                self._build_feature_cache(dev) for dev in devices[1:]
+            ]
         self._gradient_bytes = float(
             sum(p.data.nbytes for p in self.model.parameters())
         )
@@ -162,6 +170,9 @@ class PipelineTrainer(PiPADTrainer):
     def _pipelined(self) -> bool:
         return not self._preparing and self.group.num_devices > 1
 
+    def _feature_shards(self) -> int:
+        return self.pipe.num_devices
+
     def _sim_now(self) -> float:
         return self.group.makespan()
 
@@ -190,6 +201,15 @@ class PipelineTrainer(PiPADTrainer):
             num_snapshots=len(snapshots),
             transfer_bytes=self._partition_transfer_bytes(snapshots),
         )
+        if self.feature_cache is not None:
+            plan = self._cache_plan(
+                snapshots,
+                index=stage,
+                lo=0,
+                hi=self.graph.num_nodes,
+                label=f"{item.label}_s{stage}",
+            )
+            item = self._apply_cache_plan(item, plan)
         return self.prefetchers[stage].schedule(item, depends_on=depends_on)
 
     def _launch_partition_kernels(

@@ -43,7 +43,16 @@ from repro.core.tuner import DynamicTuner, FrameProfile, OfflineAnalysis, Tuning
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.frame import Frame
 from repro.graph.snapshot import GraphSnapshot
+from repro.gpu.device import OutOfMemoryError, SimulatedGPU
+from repro.gpu.memory_model import feature_cache_budget_bytes
 from repro.gpu.timeline import TimelineOp
+from repro.memory import (
+    AccessPlan,
+    FeatureCache,
+    MemoryConfig,
+    aggregate_cache_stats,
+    blocks_covering,
+)
 from repro.nn.context import ExecutionContext
 
 #: per-snapshot activation-memory amplification used by the tuner's OOM check
@@ -66,8 +75,10 @@ class PiPADTrainer(DGNNTrainerBase):
         config: Optional[TrainerConfig] = None,
         pipad_config: Optional[PiPADConfig] = None,
         data_config: Optional[DataPipeConfig] = None,
+        memory_config: Optional[MemoryConfig] = None,
     ) -> None:
         self.pipad = pipad_config or PiPADConfig()
+        self.memory = memory_config or MemoryConfig()
         # Mirror the ablation switches onto the knobs the base class reads.
         self.use_reuse = self.pipad.enable_inter_frame_reuse
         self.async_transfer = self.pipad.enable_pipeline
@@ -111,6 +122,124 @@ class PiPADTrainer(DGNNTrainerBase):
         self._preprocessed = False
         self._epochs_run = 0
         self._hidden_dim = self.model.hidden_features
+        self._check_feature_capacity()
+        #: one cache per device; distributed/pipeline subclasses append one
+        #: per extra shard/stage.  Empty when the cache is disabled.
+        self.feature_caches: List[FeatureCache] = []
+        if self.memory.feature_cache:
+            self.feature_caches.append(self._build_feature_cache(self.device))
+        self.feature_cache: Optional[FeatureCache] = (
+            self.feature_caches[0] if self.feature_caches else None
+        )
+
+    # ------------------------------------------------------------------ memory tiers
+    def _feature_shards(self) -> int:
+        """Devices the frame's feature working set is split across (1 here)."""
+        return 1
+
+    def _frame_feature_bytes(self) -> float:
+        """Extrapolated feature bytes one frame keeps in flight."""
+        features = float(np.mean([s.feature_bytes() for s in self.graph.snapshots]))
+        return features * self.config.frame_size * self.scale
+
+    def _check_feature_capacity(self) -> None:
+        """Refuse runs whose features cannot exist on the device uncached."""
+        if self.memory.feature_cache:
+            return
+        per_device = self._frame_feature_bytes() / float(self._feature_shards())
+        if per_device > self.config.gpu.memory_bytes:
+            raise OutOfMemoryError(
+                f"frame feature working set ({per_device / 1024**3:.1f} GiB per "
+                f"device) exceeds {self.config.gpu.name} HBM "
+                f"({self.config.gpu.memory_gb:.0f} GiB); enable the multi-tier "
+                "feature cache (memory.feature_cache=true) to stage features "
+                "through the pinned-host and spill tiers"
+            )
+
+    def _build_feature_cache(self, device: SimulatedGPU) -> FeatureCache:
+        """One per-device cache; the GPU tier is carved out of real HBM."""
+        mem = self.memory
+        if mem.gpu_budget_mb is not None:
+            gpu_budget = int(mem.gpu_budget_mb * 1024 * 1024)
+        else:
+            model_bytes = float(sum(p.data.nbytes for p in self.model.parameters()))
+            gpu_budget = feature_cache_budget_bytes(
+                self.config.gpu,
+                model_bytes=model_bytes,
+                activation_bytes=self._frame_activation_bytes()
+                / float(self._feature_shards()),
+                fraction=mem.gpu_budget_fraction,
+            )
+        cache = FeatureCache(
+            gpu_budget_bytes=gpu_budget,
+            pinned_budget_bytes=int(mem.pinned_budget_mb * 1024 * 1024),
+            spill_budget_bytes=(
+                None
+                if mem.spill_budget_mb is None
+                else int(mem.spill_budget_mb * 1024 * 1024)
+            ),
+            policy=mem.policy,
+        )
+        if gpu_budget > 0:
+            # Peak-memory honesty: the GPU tier occupies real HBM alongside
+            # the reuse buffer (raises OutOfMemoryError on absurd budgets).
+            device.malloc("feature_cache", gpu_budget)
+        return cache
+
+    def _feature_block_requests(
+        self, snapshots: Sequence[GraphSnapshot], lo: int, hi: int
+    ) -> List[Tuple[Tuple[int, int], float]]:
+        """Cache keys + bytes for the feature rows a partition will read.
+
+        One key per (timestep, node block): training features are distinct
+        per snapshot.  The inter-frame reuse cache discounts the *bytes* a
+        partition ships independently (``_partition_transfer_bytes``); the
+        tier plan is applied on top and clamps at zero, so the two
+        discounts never drive a stage's bytes negative.
+        """
+        row_bytes = self.graph.feature_dim * 4.0 * self.scale
+        requests: List[Tuple[Tuple[int, int], float]] = []
+        for snapshot in snapshots:
+            for block, b_lo, b_hi in blocks_covering(lo, hi, self.memory.block_rows):
+                requests.append(((snapshot.timestep, block), (b_hi - b_lo) * row_bytes))
+        return requests
+
+    def _cache_plan(
+        self,
+        snapshots: Sequence[GraphSnapshot],
+        *,
+        index: int,
+        lo: int,
+        hi: int,
+        label: str,
+    ) -> AccessPlan:
+        plan = self.feature_caches[index].access(
+            self._feature_block_requests(snapshots, lo, hi)
+        )
+        self.hooks.on_cache_access(
+            label,
+            index,
+            plan.gpu_bytes,
+            plan.pinned_bytes,
+            plan.miss_bytes,
+            plan.gpu_hits + plan.pinned_hits + plan.spill_hits,
+            plan.misses,
+            self._sim_now(),
+            "train",
+        )
+        return plan
+
+    @staticmethod
+    def _apply_cache_plan(item: PipeItem, plan: AccessPlan) -> PipeItem:
+        """Shrink an item's stage bytes by what the cache tiers absorb."""
+        total = item.transfer_bytes
+        gather = max(0.0, total - plan.gpu_bytes - plan.pinned_bytes)
+        return dataclasses.replace(
+            item,
+            transfer_bytes=max(0.0, total - plan.gpu_bytes),
+            gather_bytes=gather,
+            pin_bytes=gather,
+        )
 
     # ------------------------------------------------------------------ setup
     def _candidate_s_per(self) -> Tuple[int, ...]:
@@ -284,6 +413,11 @@ class PiPADTrainer(DGNNTrainerBase):
             num_snapshots=len(snapshots),
             transfer_bytes=self._partition_transfer_bytes(snapshots),
         )
+        if self.feature_cache is not None:
+            plan = self._cache_plan(
+                snapshots, index=0, lo=0, hi=self.graph.num_nodes, label=item.label
+            )
+            item = self._apply_cache_plan(item, plan)
         return self.prefetcher.schedule(item, depends_on=depends_on)
 
     def _launch_partition_kernels(
@@ -326,6 +460,10 @@ class PiPADTrainer(DGNNTrainerBase):
         extras["slicing_host_seconds"] = self.slicer.total_host_seconds
         extras["extraction_host_seconds"] = self.preparer.total_extraction_seconds
         extras.update(self.prefetcher.stats())
+        if self.feature_caches:
+            extras.update(
+                aggregate_cache_stats([c.stats() for c in self.feature_caches])
+            )
         if self._tuning_decisions:
             extras["mean_s_per"] = float(np.mean([d.s_per for d in self._tuning_decisions]))
             extras["mean_estimated_speedup"] = float(

@@ -37,23 +37,25 @@ absorbing deltas so their caches are consistent the moment they activate.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.datapipe import DataPipeConfig
-from repro.distributed.serving import ShardedServingEngine
+from repro.distributed.serving import _BATCH_ID_STRIDE, ShardedServingEngine
 from repro.graph.csr import INDEX_BYTES
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.partition import PARTITION_MODES, GraphPartitioner
 from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
+from repro.memory import MemoryConfig
 from repro.nn.base_model import DGNNModel
 from repro.serving.batcher import MicroBatch
 from repro.serving.deltas import GraphDelta
 from repro.serving.metrics import ServingReport
-from repro.serving.scheduler import ServingConfig, ServingScheduler
+from repro.serving.scheduler import BatchResult, ServingConfig, ServingScheduler
 from repro.serving.store import DeltaReport, IncrementalSnapshotStore
 from repro.telemetry.hooks import NULL_CALLBACK, TelemetryCallback
 from repro.utils.validation import check_positive
@@ -159,8 +161,23 @@ class FleetServingEngine(ShardedServingEngine):
         self.halo_gather_bytes = 0.0
         self.halo_gather_seconds = 0.0
         self.halo_gather_batches = 0
+        #: per-shard outstanding requests (queued + in flight), maintained
+        #: incrementally by submit/pump instead of re-scanned from the
+        #: ever-growing request records on every admission decision
+        self._outstanding = [0] * self.num_shards
+        #: per-shard min-heaps of (completion_time, finished requests);
+        #: ``pump`` pushes as batches execute, ``queue_depth`` drains <= now
+        self._completions: List[List[Tuple[float, int]]] = [
+            [] for _ in range(self.num_shards)
+        ]
         for shard in range(self.num_shards):
             replicas[shard].pre_batch_ops = self._make_halo_gather(shard)
+            # Scope each replica's feature cache to the node rows it owns:
+            # blocks keyed outside the owner range would alias rows another
+            # replica serves, and the halo seam already charges remote rows.
+            replicas[shard].scope_feature_cache(
+                int(self.boundaries[shard]), int(self.boundaries[shard + 1])
+            )
 
     # ------------------------------------------------------------------ pool state
     @property
@@ -222,13 +239,17 @@ class FleetServingEngine(ShardedServingEngine):
         A request stays "in flight" until its simulated completion time
         passes — admission must see the device backlog, not just the
         micro-batcher's queue, or small forced batches pile up on a hot
-        replica far beyond the admission limit.
+        replica far beyond the admission limit.  The depth is maintained
+        incrementally: :meth:`submit` counts admissions, :meth:`pump`
+        records batch completion times, and this query drains completions
+        up to ``now`` — O(log batches) amortised instead of re-scanning
+        every request record ever completed on each admission decision.
         """
-        replica = self.replicas[shard]
-        in_flight = sum(
-            1 for record in replica.metrics.requests if record.completion_time > now
-        )
-        return replica.batcher.pending + in_flight
+        heap = self._completions[shard]
+        while heap and heap[0][0] <= now:
+            _, finished = heapq.heappop(heap)
+            self._outstanding[shard] -= finished
+        return self._outstanding[shard]
 
     def _route(self, ids: np.ndarray, now: float) -> Optional[int]:
         """Owner-most routing over the active pool with admission control."""
@@ -268,7 +289,34 @@ class FleetServingEngine(ShardedServingEngine):
             self.rejected_requests += 1
             return None
         local_id = self.replicas[shard].submit(ids, at=at)
+        # Count only after the replica accepted the request — submit raises
+        # on out-of-range node ids and a failed submission is not backlog.
+        self._outstanding[shard] += 1
         return self._register_route(shard, local_id)
+
+    def pump(self, now: Optional[float] = None, *, force: bool = False) -> List[BatchResult]:
+        """Pump every shard, then account completions and re-check scale.
+
+        Completion times feed the per-shard admission heaps, and every pump
+        tick — :meth:`run_trace` issues one per trace event — drives the
+        autoscaler, so an idle fleet whose rolling p99 has headroom drains
+        back down to ``min_replicas`` even when no submissions arrive to
+        trigger a decision.
+        """
+        results = super().pump(now, force=force)
+        for result in results:
+            shard = result.batch_id // _BATCH_ID_STRIDE
+            heapq.heappush(
+                self._completions[shard],
+                (result.completion_time, len(result.predictions)),
+            )
+        tick = (
+            now
+            if now is not None
+            else max(replica.device.elapsed_seconds() for replica in self.replicas)
+        )
+        self._maybe_scale(tick)
+        return results
 
     # ------------------------------------------------------------------ autoscale
     def _recent_p99_seconds(self) -> float:
@@ -390,6 +438,7 @@ def build_fleet_serving_engine(
     host: Optional[HostSpec] = None,
     scale: float = 1.0,
     data: Optional[DataPipeConfig] = None,
+    memory: Optional[MemoryConfig] = None,
 ) -> FleetServingEngine:
     """Wire a node-sharded fleet: one shared store, ``num_shards`` replicas."""
     fleet = fleet or FleetConfig()
@@ -411,6 +460,7 @@ def build_fleet_serving_engine(
             scale=scale,
             dataset=dataset,
             data=data,
+            memory=memory,
         )
         for _ in range(fleet.num_shards)
     ]

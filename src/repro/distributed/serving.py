@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.datapipe import DataPipeConfig
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
+from repro.memory import MemoryConfig, aggregate_cache_stats
 from repro.nn.base_model import DGNNModel
 from repro.serving.deltas import GraphDelta, ServingEvent
 from repro.serving.metrics import ServingMetrics, ServingReport
@@ -232,6 +233,15 @@ class ShardedServingEngine:
         extras["per_replica_store_bytes"] = float(
             np.mean([replica.store.window_bytes() for replica in self.replicas])
         )
+        # Feature-cache tier counters add up across replicas; the aggregate
+        # recomputes the blended hit rate rather than summing ratios.
+        cache_stats = [
+            replica.feature_cache.stats()
+            for replica in self.replicas
+            if replica.feature_cache is not None
+        ]
+        if cache_stats:
+            extras.update(aggregate_cache_stats(cache_stats))
         return ServingReport(
             engine=f"{reports[0].engine}-x{self.num_shards}",
             model=reports[0].model,
@@ -260,12 +270,21 @@ def build_sharded_serving_engine(
     host: Optional[HostSpec] = None,
     scale: float = 1.0,
     data: Optional["DataPipeConfig"] = None,
+    memory: Optional[MemoryConfig] = None,
 ) -> ShardedServingEngine:
     """Wire ``num_shards`` serving replicas behind one sharded entry point."""
     check_positive("num_shards", num_shards)
     replicas = [
         _build_serving_scheduler(
-            graph, model, config, gpu=gpu, pcie=pcie, host=host, scale=scale, data=data
+            graph,
+            model,
+            config,
+            gpu=gpu,
+            pcie=pcie,
+            host=host,
+            scale=scale,
+            data=data,
+            memory=memory,
         )
         for _ in range(num_shards)
     ]

@@ -88,6 +88,30 @@ def classify_dimension(feature_dim: int, spec: GPUSpec) -> str:
     return "balanced"
 
 
+def feature_cache_budget_bytes(
+    spec: GPUSpec,
+    *,
+    model_bytes: float = 0.0,
+    activation_bytes: float = 0.0,
+    fraction: float = 0.5,
+    safety: float = 0.9,
+) -> int:
+    """GPU-tier budget for the feature cache: what HBM can spare.
+
+    Reserves the model parameters and the frame's activation working set
+    (plus a ``safety`` headroom for allocator slack), then grants
+    ``fraction`` of the remainder to feature rows.  Clamped at zero: an
+    over-committed device simply gets no GPU tier and every row stages
+    through the pinned-host tier instead.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    if not 0.0 < safety <= 1.0:
+        raise ValueError("safety must be within (0, 1]")
+    available = spec.memory_bytes * safety - model_bytes - activation_bytes
+    return int(max(0.0, available) * fraction)
+
+
 def contiguous_bytes_cost(nbytes: float, spec: GPUSpec, *, vectorized: bool = False) -> RowAccessCost:
     """Requests/transactions for a fully coalesced streaming access of ``nbytes``."""
     if nbytes < 0:

@@ -1,0 +1,133 @@
+"""Pluggable admission/eviction policies for the multi-tier feature cache.
+
+A policy tracks the *order* in which cached keys should be evicted; the
+tier itself owns capacity accounting.  Policies are deliberately tiny —
+they see keys, not bytes — so the same policy class serves every tier.
+
+Registered policies:
+
+- ``lru``   — least-recently-used (ordered-dict recency list).
+- ``clock`` — frequency-flavoured second-chance CLOCK: each access sets a
+  reference bit; the hand sweeps past referenced entries (clearing the
+  bit) and evicts the first unreferenced one.  Hot rows survive sweeps
+  that would evict them under pure LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+
+class CachePolicy:
+    """Interface for eviction-order bookkeeping inside one cache tier."""
+
+    name = "base"
+
+    def on_admit(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def on_access(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def on_evict(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def victim(self) -> Optional[Hashable]:
+        """Return the key the policy would evict next (``None`` if empty)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(CachePolicy):
+    """Least-recently-used ordering over an ``OrderedDict`` recency list."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_admit(self, key: Hashable) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: Hashable) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def on_evict(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Optional[Hashable]:
+        if not self._order:
+            return None
+        return next(iter(self._order))
+
+    def clear(self) -> None:
+        self._order.clear()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class ClockPolicy(CachePolicy):
+    """Second-chance CLOCK: accesses set a reference bit the hand clears.
+
+    Approximates frequency-aware eviction without per-key counters: a key
+    accessed since the hand last passed it is spared one sweep.
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._ref: Dict[Hashable, bool] = {}
+
+    def on_admit(self, key: Hashable) -> None:
+        self._ref[key] = False
+
+    def on_access(self, key: Hashable) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def on_evict(self, key: Hashable) -> None:
+        self._ref.pop(key, None)
+
+    def victim(self) -> Optional[Hashable]:
+        if not self._ref:
+            return None
+        # Sweep in insertion order; give referenced entries a second
+        # chance by clearing their bit and moving on.  Bounded by two
+        # passes: after one full sweep every bit is clear.
+        for _ in range(2):
+            for key, referenced in list(self._ref.items()):
+                if referenced:
+                    self._ref[key] = False
+                else:
+                    return key
+        return next(iter(self._ref))
+
+    def clear(self) -> None:
+        self._ref.clear()
+
+    def __len__(self) -> int:
+        return len(self._ref)
+
+
+CACHE_POLICY_REGISTRY = {
+    "lru": (LRUPolicy, "least-recently-used eviction"),
+    "clock": (ClockPolicy, "frequency-flavoured second-chance CLOCK eviction"),
+}
+
+
+def build_policy(name: str) -> CachePolicy:
+    try:
+        factory, _ = CACHE_POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(CACHE_POLICY_REGISTRY))
+        raise ValueError(f"unknown cache policy {name!r} (known: {known})") from None
+    return factory()

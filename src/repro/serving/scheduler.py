@@ -30,10 +30,17 @@ import numpy as np
 from repro.core.datapipe import DataPipe, DataPipeConfig, PipeItem, Prefetcher
 from repro.core.reuse import ReuseManager
 from repro.core.tuner import DynamicTuner, FrameProfile, TuningDecision
-from repro.gpu.device import SimulatedGPU
+from repro.gpu.device import OutOfMemoryError, SimulatedGPU
+from repro.gpu.memory_model import feature_cache_budget_bytes
 from repro.gpu.spec import GPUSpec, HostSpec, PCIeSpec
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.sliced_csr import DEFAULT_SLICE_CAPACITY
+from repro.memory import (
+    FeatureCache,
+    MemoryConfig,
+    blocks_covering,
+    blocks_of_rows,
+)
 from repro.nn.base_model import DGNNModel
 from repro.serving.batcher import InferenceRequest, MicroBatch, MicroBatcher
 from repro.serving.deltas import GraphDelta, ServingEvent
@@ -207,12 +214,14 @@ class ServingScheduler:
         scale: float = 1.0,
         dataset: str = "serving",
         data: Optional[DataPipeConfig] = None,
+        memory: Optional[MemoryConfig] = None,
     ) -> None:
         self.config = config or ServingConfig()
         self.store = store
         self.model = model
         self.dataset = dataset
         self.scale = scale
+        self.memory = memory or MemoryConfig()
         self.device = SimulatedGPU(gpu, pcie, host, use_cuda_graph=self.config.use_cuda_graph)
         data = data or DataPipeConfig()
         if not self.config.enable_pipeline:
@@ -263,6 +272,14 @@ class ServingScheduler:
             max_requests=self.config.max_batch_requests,
             max_delay_ms=self.config.max_delay_ms,
         )
+        #: node range this scheduler's feature cache covers (fleet replicas
+        #: re-scope it to their shard via :meth:`scope_feature_cache`)
+        self._cache_lo = 0
+        self._cache_hi = store.num_nodes
+        self._check_feature_capacity()
+        self.feature_cache: Optional[FeatureCache] = None
+        if self.memory.feature_cache:
+            self.feature_cache = self._build_feature_cache()
         self.metrics = ServingMetrics()
         #: telemetry sink; the engine swaps in a live CallbackList
         self.hooks: TelemetryCallback = NULL_CALLBACK
@@ -280,6 +297,97 @@ class ServingScheduler:
     def _touch_wall_clock(self) -> None:
         if self._wall_start is None:
             self._wall_start = time.perf_counter()
+
+    # ------------------------------------------------------------------ memory tiers
+    def _window_feature_bytes(self) -> float:
+        """Extrapolated feature bytes of a fully populated serving window."""
+        return (
+            float(self.store.head.feature_bytes())
+            * self.store.window_capacity
+            * self.scale
+        )
+
+    def _check_feature_capacity(self) -> None:
+        """Refuse serving configs whose window features cannot fit uncached."""
+        if self.memory.feature_cache:
+            return
+        nbytes = self._window_feature_bytes()
+        if nbytes > self.device.spec.memory_bytes:
+            raise OutOfMemoryError(
+                f"serving window feature set ({nbytes / 1024**3:.1f} GiB) exceeds "
+                f"{self.device.spec.name} HBM ({self.device.spec.memory_gb:.0f} GiB); "
+                "enable the multi-tier feature cache (memory.feature_cache=true) "
+                "to stage features through the pinned-host and spill tiers"
+            )
+
+    def _build_feature_cache(self) -> FeatureCache:
+        mem = self.memory
+        if mem.gpu_budget_mb is not None:
+            gpu_budget = int(mem.gpu_budget_mb * 1024 * 1024)
+        else:
+            model_bytes = float(sum(p.data.nbytes for p in self.model.parameters()))
+            hidden = self.model.hidden_features
+            activation_bytes = (
+                self.store.window_capacity
+                * self.store.num_nodes
+                * hidden
+                * 4.0
+                * _ACTIVATION_FACTOR
+                * self.scale
+            )
+            gpu_budget = feature_cache_budget_bytes(
+                self.device.spec,
+                model_bytes=model_bytes,
+                activation_bytes=activation_bytes,
+                fraction=mem.gpu_budget_fraction,
+            )
+        cache = FeatureCache(
+            gpu_budget_bytes=gpu_budget,
+            pinned_budget_bytes=int(mem.pinned_budget_mb * 1024 * 1024),
+            spill_budget_bytes=(
+                None
+                if mem.spill_budget_mb is None
+                else int(mem.spill_budget_mb * 1024 * 1024)
+            ),
+            policy=mem.policy,
+        )
+        if gpu_budget > 0:
+            # The GPU tier occupies real HBM alongside the reuse buffer.
+            self.device.malloc("feature_cache", gpu_budget)
+        return cache
+
+    def scope_feature_cache(self, lo: int, hi: int) -> None:
+        """Restrict the cache to the node range ``[lo, hi)`` (fleet shards).
+
+        Clears any cached residency: blocks keyed outside the new scope
+        would otherwise alias a different replica's rows.
+        """
+        if not 0 <= lo <= hi <= self.store.num_nodes:
+            raise ValueError(
+                f"cache scope [{lo}, {hi}) out of bounds for "
+                f"{self.store.num_nodes} nodes"
+            )
+        self._cache_lo = lo
+        self._cache_hi = hi
+        if self.feature_cache is not None:
+            self.feature_cache.clear()
+
+    def _feature_block_requests(self, uncached_versions: int):
+        """Cache keys + bytes for one batch's feature-row traffic.
+
+        Serving keys are *unversioned* node blocks — snapshot versions are
+        immutable, so a block stays valid until a delta touches its rows
+        (row-based invalidation in :meth:`absorb_delta`).  Each block's cost
+        is its rows across every window version the reuse cache does not
+        already cover.
+        """
+        row_bytes = self.store.feature_dim * 4.0 * uncached_versions * self.scale
+        return [
+            (block, (b_hi - b_lo) * row_bytes)
+            for block, b_lo, b_hi in blocks_covering(
+                self._cache_lo, self._cache_hi, self.memory.block_rows
+            )
+        ]
 
     # ------------------------------------------------------------------ ingestion
     def ingest(self, delta: GraphDelta, *, at: Optional[float] = None) -> DeltaReport:
@@ -301,6 +409,12 @@ class ServingScheduler:
         self._touch_wall_clock()
         at = self.device.elapsed_seconds() if at is None else at
         patch_seconds = self.session.refresh(report)
+        if self.feature_cache is not None and report.num_touched:
+            # The delta rewrote these rows: any tier copy (including halo
+            # rows a prefetch may still be shipping) is stale.
+            self.feature_cache.invalidate(
+                blocks_of_rows(report.touched_rows, self.memory.block_rows)
+            )
         # Remember the op: batches serving the post-delta window must not
         # start before the delta that produced their state has been applied.
         self._last_delta_op = self.device.host_op(
@@ -367,6 +481,35 @@ class ServingScheduler:
             num_snapshots=self._prep_snapshot_count(),
             transfer_bytes=transfer_bytes,
         )
+        if self.feature_cache is not None:
+            uncached = sum(
+                0 if self.reuse.has_cached(v) else 1
+                for v in self.store.window_versions()
+            )
+            if uncached:
+                plan = self.feature_cache.access(
+                    self._feature_block_requests(uncached)
+                )
+                gather = max(
+                    0.0, transfer_bytes - plan.gpu_bytes - plan.pinned_bytes
+                )
+                item = dataclasses.replace(
+                    item,
+                    transfer_bytes=max(0.0, transfer_bytes - plan.gpu_bytes),
+                    gather_bytes=gather,
+                    pin_bytes=gather,
+                )
+                self.hooks.on_cache_access(
+                    item.label,
+                    0,
+                    plan.gpu_bytes,
+                    plan.pinned_bytes,
+                    plan.miss_bytes,
+                    plan.gpu_hits + plan.pinned_hits + plan.spill_hits,
+                    plan.misses,
+                    batch.formed_time,
+                    "serve",
+                )
         depends_on = [] if self._last_delta_op is None else [self._last_delta_op]
         if self.pre_batch_ops is not None:
             depends_on.extend(self.pre_batch_ops(batch))
@@ -468,6 +611,8 @@ class ServingScheduler:
         extras["window_overlap_rate"] = self.store.overlap_rate()
         extras["store_bytes"] = float(self.store.window_bytes())
         extras.update(self.prefetcher.stats())
+        if self.feature_cache is not None:
+            extras.update(self.feature_cache.stats())
         return ServingReport(
             engine="PiPAD-Serve" if self.config.enable_reuse else "Recompute-Serve",
             model=self.model.name,
@@ -495,6 +640,7 @@ def _build_serving_scheduler(
     host: Optional[HostSpec] = None,
     scale: float = 1.0,
     data: Optional[DataPipeConfig] = None,
+    memory: Optional[MemoryConfig] = None,
 ) -> ServingScheduler:
     """Wire a store + scheduler for a trained model (engine-internal path)."""
     config = config or ServingConfig()
@@ -514,6 +660,7 @@ def _build_serving_scheduler(
         scale=scale,
         dataset=dataset,
         data=data,
+        memory=memory,
     )
 
 

@@ -91,6 +91,25 @@ class TelemetryCallback:
         trainer prefetchers, ``"serve"`` for serving replicas).
         """
 
+    def on_cache_access(
+        self,
+        label: str,
+        device_index: int,
+        gpu_bytes: float,
+        pinned_bytes: float,
+        miss_bytes: float,
+        hits: int,
+        misses: int,
+        at: float,
+        domain: str = "train",
+    ) -> None:
+        """One feature-cache lookup resolved an item's tier traffic.
+
+        ``gpu_bytes`` skipped the whole gather → pin → h2d path,
+        ``pinned_bytes`` skipped gather+pin, ``miss_bytes`` pays the full
+        pipe.  ``at`` is the simulated time the item was scheduled.
+        """
+
     # -- serving (schedulers) -----------------------------------------------
     def on_request(self, record: "RequestRecord") -> None:
         """One serving request completed."""
@@ -213,6 +232,32 @@ class TracingCallback(TelemetryCallback):
             device=device_index,
         )
 
+    def on_cache_access(
+        self,
+        label: str,
+        device_index: int,
+        gpu_bytes: float,
+        pinned_bytes: float,
+        miss_bytes: float,
+        hits: int,
+        misses: int,
+        at: float,
+        domain: str = "train",
+    ) -> None:
+        self.tracer.record(
+            f"cache_{label}",
+            at,
+            at,
+            category="cache",
+            domain=domain,
+            device=device_index,
+            gpu_bytes=gpu_bytes,
+            pinned_bytes=pinned_bytes,
+            miss_bytes=miss_bytes,
+            hits=hits,
+            misses=misses,
+        )
+
     def on_request(self, record: "RequestRecord") -> None:
         self.tracer.record(
             f"request_{record.request_id}",
@@ -291,6 +336,25 @@ class MetricsCallback(TelemetryCallback):
     ) -> None:
         self.registry.counter(f"prefetch.{stage}.count").inc()
         self.registry.counter(f"prefetch.{stage}.seconds").inc(end - start)
+
+    def on_cache_access(
+        self,
+        label: str,
+        device_index: int,
+        gpu_bytes: float,
+        pinned_bytes: float,
+        miss_bytes: float,
+        hits: int,
+        misses: int,
+        at: float,
+        domain: str = "train",
+    ) -> None:
+        self.registry.counter("memory.cache.accesses").inc(hits + misses)
+        self.registry.counter("memory.cache.hits").inc(hits)
+        self.registry.counter("memory.cache.misses").inc(misses)
+        self.registry.counter("memory.cache.gpu_bytes").inc(gpu_bytes)
+        self.registry.counter("memory.cache.pinned_bytes").inc(pinned_bytes)
+        self.registry.counter("memory.cache.miss_bytes").inc(miss_bytes)
 
     def on_request(self, record: "RequestRecord") -> None:
         self.registry.counter("serving.requests").inc()

@@ -160,6 +160,7 @@ class Telemetry:
             registry.set_gauges(serving.metrics.summary(), prefix="serving.summary.")
             registry.set_gauges(serving.breakdown, prefix="serving.breakdown.")
             registry.set_gauges(serving.reuse_stats, prefix="serving.reuse.")
+            registry.set_gauges(serving.extras, prefix="serving.extras.")
             registry.set_gauges(
                 {
                     "serving.simulated_seconds": serving.simulated_seconds,

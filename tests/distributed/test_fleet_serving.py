@@ -11,6 +11,7 @@ from repro.distributed import (
     build_fleet_serving_engine,
     build_sharded_serving_engine,
 )
+from repro.memory import MemoryConfig
 from repro.nn import build_model
 from repro.serving import ServingConfig, synthesize_serving_trace
 from repro.serving.scheduler import _build_serving_scheduler
@@ -139,6 +140,73 @@ class TestAdmissionControl:
         assert engine.rejected_requests == 0
 
 
+class TestAdmissionDepth:
+    """The maintained depth counter must track queued + in-flight exactly."""
+
+    def test_depth_counts_queued_then_in_flight(self, small_graph):
+        engine = make_fleet(
+            small_graph,
+            fleet=FleetConfig(num_shards=2, min_replicas=1, admission_limit=8),
+            max_batch_requests=32,
+            max_delay_ms=50.0,
+        )
+        assert engine.queue_depth(0, 0.0) == 0
+        for _ in range(3):
+            engine.submit([1], at=0.0)
+        assert engine.queue_depth(0, 0.0) == 3  # all still queued
+        results = engine.pump(0.0, force=True)
+        done = max(r.completion_time for r in results)
+        assert done > 0.0
+        # Executed but not yet complete on the simulated clock: in flight.
+        assert engine.queue_depth(0, 0.0) == 3
+        # Past the completion time the backlog fully drains.
+        assert engine.queue_depth(0, done) == 0
+
+    def test_rejected_requests_never_enter_the_depth(self, small_graph):
+        engine = make_fleet(
+            small_graph,
+            fleet=FleetConfig(num_shards=2, min_replicas=1, admission_limit=2),
+            max_batch_requests=32,
+            max_delay_ms=50.0,
+        )
+        for _ in range(5):
+            engine.submit([1], at=0.0)
+        assert engine.rejected_requests == 3
+        assert engine.queue_depth(0, 0.0) == 2
+
+    def test_completions_reopen_admission(self, small_graph):
+        engine = make_fleet(
+            small_graph,
+            fleet=FleetConfig(num_shards=2, min_replicas=1, admission_limit=2),
+            max_batch_requests=32,
+            max_delay_ms=50.0,
+        )
+        assert engine.submit([1], at=0.0) is not None
+        assert engine.submit([1], at=0.0) is not None
+        assert engine.submit([1], at=0.0) is None  # at the limit
+        results = engine.pump(0.0, force=True)
+        done = max(r.completion_time for r in results)
+        # Once the batch completes the depth is back under the limit.
+        assert engine.submit([1], at=done) is not None
+
+    def test_depth_matches_record_scan(self, small_graph):
+        """Cross-check the counter against the O(records) definition."""
+        engine = make_fleet(
+            small_graph,
+            fleet=FleetConfig(num_shards=2, min_replicas=1, admission_limit=64),
+            max_batch_requests=4,
+            max_delay_ms=0.5,
+        )
+        trace = synthesize_serving_trace(small_graph[-1], 40, seed=4)
+        engine.run_trace(trace)
+        now = max(r.device.elapsed_seconds() for r in engine.replicas)
+        for shard, replica in enumerate(engine.replicas):
+            scanned = replica.batcher.pending + sum(
+                1 for rec in replica.metrics.requests if rec.completion_time > now
+            )
+            assert engine.queue_depth(shard, now) == scanned
+
+
 class TestAutoscale:
     def pressure_fleet(self, graph, **fleet_kwargs):
         defaults = dict(
@@ -202,6 +270,20 @@ class TestAutoscale:
         delta = next(e.delta for e in trace if e.kind == "delta")
         engine.ingest(delta, at=0.0)
         assert all(r.metrics.deltas_ingested == 1 for r in engine.replicas)
+
+    def test_idle_fleet_returns_to_min_replicas(self, small_graph):
+        """Regression: pump ticks alone must drive scale-down — a fleet that
+        stops receiving submissions would otherwise stay scaled up forever."""
+        engine = self.pressure_fleet(small_graph, slo_p99_ms=1e9)
+        engine._active = 3  # as if a previous burst had scaled the pool up
+        for k in range(4):  # seed the rolling p99 window
+            engine.submit([k], at=0.0)
+        engine.pump(0.0, force=True)
+        now = max(r.device.elapsed_seconds() for r in engine.replicas)
+        for tick in range(12):  # idle: pump ticks only, no submissions
+            engine.pump(now + tick)
+        assert engine.active_replicas == engine.fleet_config.min_replicas
+        assert any(e.direction == "down" for e in engine.scale_events)
 
 
 class TestHaloGather:
@@ -270,6 +352,34 @@ class TestFleetReport:
             sum(r.prefetcher.stats()["prefetch_host_seconds"] for r in engine.replicas)
         )
         assert report.engine == "PiPAD-Fleet-x2"
+
+
+class TestFleetFeatureCache:
+    def test_replica_caches_scoped_to_owned_rows_and_reported(self, small_graph):
+        model = build_model("tgcn", small_graph.feature_dim, 8, seed=0)
+        engine = build_fleet_serving_engine(
+            small_graph,
+            model,
+            FleetConfig(num_shards=2, min_replicas=2),
+            ServingConfig(
+                window=4, max_batch_requests=4, max_delay_ms=0.5, enable_reuse=False
+            ),
+            memory=MemoryConfig(
+                feature_cache=True, gpu_budget_mb=1.0, pinned_budget_mb=1.0,
+                block_rows=16,
+            ),
+        )
+        for shard in range(2):
+            replica = engine.replicas[shard]
+            assert replica.feature_cache is not None
+            assert replica._cache_lo == int(engine.boundaries[shard])
+            assert replica._cache_hi == int(engine.boundaries[shard + 1])
+        engine.submit([shard_interior_node(engine, 0)], at=0.0)
+        engine.submit([shard_interior_node(engine, 1)], at=0.0)
+        engine.pump(0.0, force=True)
+        report = engine.report()
+        assert report.extras["feature_cache_misses"] > 0
+        assert 0.0 <= report.extras["feature_cache_hit_rate"] <= 1.0
 
 
 class TestDeterminismAndParity:
