@@ -34,6 +34,7 @@ from repro.api.spec import (
     INTERCONNECT_KINDS,
     PIPAD_FIELDS,
     SERVING_KINDS,
+    AnalysisSpec,
     DataSpec,
     DeviceSpec,
     MemorySpec,
@@ -44,6 +45,7 @@ from repro.api.spec import (
 )
 
 __all__ = [
+    "AnalysisSpec",
     "COLLECTIVE_KEYS",
     "DATAPIPE_REGISTRY",
     "DEVICE_KINDS",

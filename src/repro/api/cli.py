@@ -10,12 +10,17 @@ Four subcommands cover the repo's scenarios, all driven by
   spec declares one, the serving phase;
 - ``python -m repro serve SPEC`` — the online phase only (trains the model
   the spec describes, then replays the spec's serving trace);
+- ``python -m repro check SPEC`` — static spec lint from the
+  :mod:`repro.analysis` catalog, no execution (exit 3 on errors);
 - ``python -m repro experiment NAME`` — regenerate a paper artifact through
   the experiment harness.
 
 ``--set key=value`` applies dotted overrides to a loaded spec
 (``--set epochs=5 --set device.num_devices=4``), so one JSON file serves a
-family of runs.
+family of runs.  ``--sanitize`` on run/serve turns on the execution
+sanitizer: the finished run is replayed through the happens-before,
+collective and memory-watermark checkers, violations land in the trace and
+report, and the command exits 3 when any are errors.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis import AnalysisError, run_checks
 from repro.api.engine import Engine
 from repro.api.registries import (
     DATAPIPE_REGISTRY,
@@ -223,6 +229,7 @@ def _summary_json(summary: Dict[str, Any]) -> str:
 
 # ------------------------------------------------------------------ subcommands
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.analysis import CHECK_REGISTRY
     from repro.core.datapipe import STAGE_REGISTRY
     from repro.experiments import list_experiments
     from repro.graph.datasets import DATASET_ORDER
@@ -247,6 +254,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "presets": sorted(PRESETS),
         "telemetry_callbacks": dict(CALLBACK_REGISTRY),
         "telemetry_exporters": dict(EXPORTER_REGISTRY),
+        "analysis_checks": {
+            name: f"[{info.family}] {info.description}"
+            for name, info in CHECK_REGISTRY.items()
+        },
     }
     if args.json:
         print(json.dumps(catalogue, indent=2))
@@ -280,8 +291,16 @@ def _apply_output_flags(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
     return spec.replace(telemetry=spec.telemetry.replace(**updates))
 
 
+def _apply_sanitize_flag(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
+    """``--sanitize`` is sugar over ``--set analysis.enabled=True``."""
+    if not getattr(args, "sanitize", False) or spec.analysis.enabled:
+        return spec
+    return spec.replace(analysis=spec.analysis.replace(enabled=True))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _apply_output_flags(load_spec(args.spec, args.set or ()), args)
+    spec = _apply_sanitize_flag(spec, args)
     engine = Engine.from_spec(spec)
     report = engine.run()
     if args.json:
@@ -293,6 +312,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     spec = _apply_output_flags(load_spec(args.spec, args.set or ()), args)
+    spec = _apply_sanitize_flag(spec, args)
     if spec.serving is None:
         raise ValueError(
             f"spec {args.spec!r} has no serving section; add one or use "
@@ -300,13 +320,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     engine = Engine.from_spec(spec)
     engine.serve()
+    if spec.analysis.enabled:
+        engine.sanitize()
     report = engine.report()
     engine.export_artifacts(report)
+    engine.raise_on_violations()
     if args.json:
         print(_summary_json(report.summary()))
     else:
         print(report.format())
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Static spec lint: no engine, no execution, exit 3 on errors."""
+    spec = load_spec(args.spec, args.set or ())
+    report = run_checks(spec, checks=spec.analysis.checks or None)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"spec: {args.spec}")
+        print(report.format())
+    return 0 if report.ok else 3
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -359,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-report", metavar="PATH",
         help="write the full RunReport as JSON (reload with RunReport.load)",
     )
+    p_run.add_argument(
+        "--sanitize", action="store_true",
+        help="replay the finished run through the execution sanitizer "
+        "(exit 3 on violations)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_serve = sub.add_parser("serve", help="run a spec's online serving phase")
@@ -376,7 +416,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-report", metavar="PATH",
         help="write the full RunReport as JSON (reload with RunReport.load)",
     )
+    p_serve.add_argument(
+        "--sanitize", action="store_true",
+        help="replay the finished run through the execution sanitizer "
+        "(exit 3 on violations)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_check = sub.add_parser(
+        "check", help="statically lint a RunSpec (no execution)"
+    )
+    p_check.add_argument("spec", help="spec JSON file path or preset name")
+    p_check.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="dotted spec override, e.g. --set analysis.checks='[\"spec-partitioning\"]'",
+    )
+    p_check.add_argument(
+        "--json", action="store_true", help="print the analysis report as JSON"
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("name", help="experiment name (see 'python -m repro list')")
@@ -393,6 +451,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except AnalysisError as exc:
+        print(f"sanitizer: {exc}", file=sys.stderr)
+        return 3
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -19,6 +19,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
+from repro.analysis import (
+    AnalysisError,
+    AnalysisReport,
+    collect_artifacts,
+    run_checks,
+)
 from repro.api import registries
 from repro.api.spec import RunSpec
 from repro.baselines.base import DGNNTrainerBase
@@ -43,6 +49,17 @@ class RunReport:
     #: flat telemetry snapshot (``MetricsRegistry.snapshot()``); empty when
     #: the run's telemetry is disabled
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: structured side-channels keyed by producer (``"analysis"`` holds the
+    #: sanitizer's :class:`~repro.analysis.base.AnalysisReport` as plain data)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def analysis(self) -> Optional[AnalysisReport]:
+        """The sanitizer report, rehydrated from extras (None if it never ran)."""
+        data = self.extras.get("analysis")
+        if data is None:
+            return None
+        return AnalysisReport.from_dict(data)
 
     # ------------------------------------------------------------------ views
     def timeline_breakdown(self) -> Dict[str, float]:
@@ -114,6 +131,13 @@ class RunReport:
                 lines.append(f"  collectives: {parts}")
         if self.serving is not None:
             lines.extend("  " + line for line in self.serving.format().splitlines())
+        analysis = self.extras.get("analysis")
+        if analysis is not None:
+            lines.append(
+                f"  analysis: {len(analysis.get('checks', []))} check(s), "
+                f"{analysis.get('num_errors', 0)} error(s), "
+                f"{analysis.get('num_warnings', 0)} warning(s)"
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ persistence
@@ -125,6 +149,7 @@ class RunReport:
             "training": None if self.training is None else self.training.to_dict(),
             "serving": None if self.serving is None else self.serving.to_dict(),
             "metrics": sanitize_floats(dict(self.metrics)),
+            "extras": dict(self.extras),
         }
 
     @classmethod
@@ -136,6 +161,7 @@ class RunReport:
             training=None if training is None else TrainingResult.from_dict(training),
             serving=None if serving is None else ServingReport.from_dict(serving),
             metrics=restore_float_dict(data.get("metrics")),
+            extras=dict(data.get("extras") or {}),
         )
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -175,6 +201,7 @@ class Engine:
         self._training: Optional[TrainingResult] = None
         self._serving_engine: Optional[object] = None
         self._serving_report: Optional[ServingReport] = None
+        self._analysis: Optional[AnalysisReport] = None
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -281,12 +308,21 @@ class Engine:
         return self._serving_report
 
     def run(self) -> RunReport:
-        """Execute every phase the spec declares and return the report."""
+        """Execute every phase the spec declares and return the report.
+
+        With ``spec.analysis.enabled`` the sanitizer replays the finished
+        run *before* artifact export (so violations land in the trace and
+        the persisted report), then — unless ``fail_on_violation`` is off —
+        fails the run with :class:`~repro.analysis.AnalysisError`.
+        """
         self.train()
         if self.spec.serving is not None:
             self.serve()
+        if self.spec.analysis.enabled:
+            self.sanitize()
         report = self.report()
         self.export_artifacts(report)
+        self.raise_on_violations()
         return report
 
     def report(self) -> RunReport:
@@ -296,8 +332,57 @@ class Engine:
             training=self._training,
             serving=self._serving_report,
         )
+        if self._analysis is not None:
+            report.extras["analysis"] = self._analysis.to_dict()
         report.metrics = self.telemetry.collect(report)
         return report
+
+    # ------------------------------------------------------------------ sanitizer
+    def sanitize(self) -> AnalysisReport:
+        """Run the analysis checks over whatever has executed so far.
+
+        The static spec lint always applies; the execution checkers replay
+        the artifacts of every finished phase (device timelines, collective
+        groups, feature caches).  The report is cached, folded into
+        :meth:`report` extras, and mirrored into the tracer as Chrome-trace
+        instant events so violations show up next to the ops they indict.
+        """
+        artifacts = collect_artifacts(
+            trainer=self._trainer, serving_engine=self._serving_engine
+        )
+        report = run_checks(
+            self.spec,
+            artifacts=artifacts,
+            checks=self.spec.analysis.checks or None,
+        )
+        self._record_violations(report)
+        self._analysis = report
+        return report
+
+    def raise_on_violations(self) -> None:
+        """Fail the run if a cached sanitize pass found errors (and the
+        spec says violations are fatal).  No-op when clean or not sanitized."""
+        if self._analysis is None or self._analysis.ok:
+            return
+        if self.spec.analysis.fail_on_violation:
+            raise AnalysisError(self._analysis)
+
+    def _record_violations(self, report: AnalysisReport) -> None:
+        """Mirror violations into the tracer (exported as instant events)."""
+        if not self.telemetry.enabled:
+            return
+        for violation in report.violations:
+            self.telemetry.tracer.record(
+                f"violation:{violation.check}",
+                violation.time,
+                violation.time,
+                category="violation",
+                domain=violation.domain,
+                check=violation.check,
+                severity=violation.severity,
+                source=violation.source,
+                message=violation.message,
+            )
 
     # ------------------------------------------------------------------ artifacts
     def export_trace(self, path: Union[str, Path]) -> Dict[str, Any]:

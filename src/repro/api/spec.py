@@ -425,6 +425,34 @@ class ServingSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class AnalysisSpec(_SpecBase):
+    """Sanitizer section of a run: which checks gate it, and how hard.
+
+    With ``enabled`` the engine replays the finished run through the
+    execution checkers (happens-before races, collective lint, memory
+    watermarks) plus the static spec lint, surfaces violations in
+    ``RunReport.extras["analysis"]`` and as Chrome-trace instant events,
+    and — with ``fail_on_violation`` — fails the run on any
+    error-severity finding.  ``python -m repro check`` runs the static
+    family alone, no engine required.
+    """
+
+    enabled: bool = False
+    #: check selection from ``repro.analysis.CHECK_REGISTRY``; empty = all
+    checks: Tuple[str, ...] = ()
+    #: raise :class:`repro.analysis.AnalysisError` after export when the
+    #: sanitizer found error-severity violations
+    fail_on_violation: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.analysis import resolve_checks
+
+        if not isinstance(self.checks, tuple):
+            object.__setattr__(self, "checks", tuple(self.checks))
+        resolve_checks(self.checks)  # rejects unknown names with the catalog
+
+
+@dataclass(frozen=True)
 class RunSpec(_SpecBase):
     """One declarative, serializable description of an executable run."""
 
@@ -454,6 +482,8 @@ class RunSpec(_SpecBase):
     serving: Optional[ServingSpec] = None
     #: observability: exporters + callback sinks (enabled by default)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    #: sanitizer: check selection + failure policy (off by default)
+    analysis: AnalysisSpec = field(default_factory=AnalysisSpec)
 
     def __post_init__(self) -> None:
         from repro.baselines import _registry
@@ -473,6 +503,10 @@ class RunSpec(_SpecBase):
         if isinstance(self.telemetry, Mapping):
             object.__setattr__(
                 self, "telemetry", TelemetrySpec.from_dict(self.telemetry)
+            )
+        if isinstance(self.analysis, Mapping):
+            object.__setattr__(
+                self, "analysis", AnalysisSpec.from_dict(self.analysis)
             )
 
         dataset_key = self.dataset.lower().replace("-", "_")
@@ -561,10 +595,12 @@ _NESTED_SPECS: Dict[Tuple[str, str], type] = {
     ("RunSpec", "memory"): MemorySpec,
     ("RunSpec", "serving"): ServingSpec,
     ("RunSpec", "telemetry"): TelemetrySpec,
+    ("RunSpec", "analysis"): AnalysisSpec,
     ("ServingSpec", "trace"): TraceSpec,
 }
 
 #: fields that serialize as JSON lists but are tuples in memory
 _TUPLE_FIELDS: Dict[str, Tuple[str, ...]] = {
     "TelemetrySpec": ("callbacks",),
+    "AnalysisSpec": ("checks",),
 }

@@ -48,6 +48,7 @@ from repro.gpu.timeline import TimelineOp
 from repro.graph.overlap import SnapshotOverlap
 from repro.graph.sliced_csr import DEFAULT_SLICE_CAPACITY
 from repro.graph.snapshot import GraphSnapshot
+from repro.memory.cache import TIER_PINNED
 from repro.telemetry.hooks import NULL_CALLBACK, TelemetryCallback
 
 #: canonical stage names, in execution order
@@ -125,6 +126,10 @@ class PipeItem:
     #: bytes the ``pin`` stage must copy into page-locked memory; ``None``
     #: means ``transfer_bytes``
     pin_bytes: Optional[float] = None
+    #: feature-cache block keys the ``gather`` stage reads; the analyzer's
+    #: happens-before race detector matches these against concurrent
+    #: invalidations (delta writes) touching the same blocks
+    block_keys: Tuple[object, ...] = ()
 
 
 class DataPipe:
@@ -241,6 +246,16 @@ class Prefetcher:
         self._scheduled = 0
         self.items_scheduled = 0
         self.host_seconds_total = 0.0
+        #: the device's :class:`~repro.memory.cache.FeatureCache`, when the
+        #: run declares one — the pin stage charges its staging buffers
+        #: against the cache's pinned tier (``pinned_budget_mb`` covers
+        #: residency *and* in-flight staging).  Wired by the trainer/serving
+        #: engine after construction.
+        self.cache = None
+        #: live staging reservations as ``(h2d_end_seconds, charged_bytes)``;
+        #: a reservation is released once the simulated clock (the next pin
+        #: op's start) passes its transfer's completion
+        self._staging: List[Tuple[float, float]] = []
 
     # ------------------------------------------------------------------ gating
     def _overlapping(self) -> bool:
@@ -287,6 +302,7 @@ class Prefetcher:
                 if op is not None
             ]
         previous: List[TimelineOp] = gate
+        pin_op: Optional[TimelineOp] = None
         for stage in self.pipe.host_stages:
             seconds = self.pipe.stage_seconds(stage, item)
             self.host_seconds_total += seconds
@@ -297,6 +313,10 @@ class Prefetcher:
                 depends_on=previous or None,
                 not_before=not_before,
             )
+            if stage == STAGE_GATHER and item.block_keys:
+                op.attrs["hb_reads"] = list(item.block_keys)
+            if stage == STAGE_PIN:
+                pin_op = op
             hooks.on_prefetch(
                 stage, item.label, self.device_index, op.start, op.end, self.domain
             )
@@ -311,6 +331,13 @@ class Prefetcher:
             depends_on=previous or None,
             not_before=not_before,
         )
+        if pin_op is not None:
+            # The pin stage fills a staging buffer the h2d drains; the key is
+            # unique per occurrence (labels repeat across epochs).
+            staging_key = f"staging:{self.domain}{self.device_index}:{self.items_scheduled}"
+            pin_op.attrs["hb_writes"] = [staging_key]
+            transfer.attrs.setdefault("hb_reads", []).append(staging_key)
+            self._account_staging(item, pin_op, transfer)
         hooks.on_prefetch(
             STAGE_H2D, item.label, self.device_index, transfer.start, transfer.end, self.domain
         )
@@ -318,6 +345,38 @@ class Prefetcher:
         self._scheduled += 1
         self.items_scheduled += 1
         return [transfer]
+
+    def _account_staging(
+        self, item: PipeItem, pin_op: TimelineOp, transfer: TimelineOp
+    ) -> None:
+        """Charge this item's pin-stage staging buffer against the cache.
+
+        The reservation lives from the pin op's start until the transfer
+        drains the buffer; earlier reservations whose h2d finished by then
+        are released first (the simulated clock only moves forward through
+        successive pin starts on one device).  The pin and h2d ops carry the
+        acquire/release annotations the memory-watermark checker replays.
+        """
+        if self.cache is None:
+            return
+        nbytes = item.transfer_bytes if item.pin_bytes is None else item.pin_bytes
+        if nbytes <= 0:
+            return
+        live: List[Tuple[float, float]] = []
+        for h2d_end, charged in self._staging:
+            if h2d_end <= pin_op.start:
+                self.cache.release_staging(charged)
+            else:
+                live.append((h2d_end, charged))
+        charged = self.cache.reserve_staging(nbytes)
+        live.append((transfer.end, charged))
+        self._staging = live
+        tier = self.cache.tiers[TIER_PINNED]
+        pin_op.attrs["pinned_acquire_bytes"] = charged
+        pin_op.attrs["pinned_tier_used_bytes"] = tier.used_bytes
+        if tier.capacity_bytes is not None:
+            pin_op.attrs["pinned_budget_bytes"] = float(tier.capacity_bytes)
+        transfer.attrs["pinned_release_bytes"] = charged
 
     def mark_consumed(self, ops: Sequence[TimelineOp]) -> None:
         """Register the compute op that read the oldest unconsumed item."""

@@ -165,6 +165,8 @@ class DistributedTrainer(PiPADTrainer):
             self.feature_caches += [
                 self._build_feature_cache(dev) for dev in devices[1:]
             ]
+            for index, prefetcher in enumerate(self.prefetchers):
+                prefetcher.cache = self.feature_caches[index]
         # Cheap provisional plan; _run_preprocessing replans (and computes the
         # halo/edge statistics, an O(devices x snapshots x edges) sharding
         # pass) right before the first steady-state frame can consume them.

@@ -126,6 +126,8 @@ class PipelineTrainer(PiPADTrainer):
             self.feature_caches += [
                 self._build_feature_cache(dev) for dev in devices[1:]
             ]
+            for stage, prefetcher in enumerate(self.prefetchers):
+                prefetcher.cache = self.feature_caches[stage]
         self._gradient_bytes = float(
             sum(p.data.nbytes for p in self.model.parameters())
         )

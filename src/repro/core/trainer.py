@@ -131,6 +131,9 @@ class PiPADTrainer(DGNNTrainerBase):
         self.feature_cache: Optional[FeatureCache] = (
             self.feature_caches[0] if self.feature_caches else None
         )
+        # The pin stage's staging buffers are pinned memory too: charge them
+        # against the cache's pinned tier instead of budgeting them separately.
+        self.prefetcher.cache = self.feature_cache
 
     # ------------------------------------------------------------------ memory tiers
     def _feature_shards(self) -> int:
@@ -239,6 +242,7 @@ class PiPADTrainer(DGNNTrainerBase):
             transfer_bytes=max(0.0, total - plan.gpu_bytes),
             gather_bytes=gather,
             pin_bytes=gather,
+            block_keys=plan.block_keys,
         )
 
     # ------------------------------------------------------------------ setup

@@ -13,6 +13,7 @@ overlapping partition ``k`` compute, CPU-side preparation overlapping both.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -22,6 +23,12 @@ RESOURCE_PCIE_H2D = "pcie_h2d"
 RESOURCE_PCIE_D2H = "pcie_d2h"
 RESOURCE_CPU = "cpu"
 RESOURCES = (RESOURCE_COMPUTE, RESOURCE_PCIE_H2D, RESOURCE_PCIE_D2H, RESOURCE_CPU)
+
+#: process-wide op identity: ``op_id`` restarts per timeline, but dependency
+#: edges cross timelines (p2p recv ops, cross-device gates), so the
+#: happens-before analyzer needs an identifier that is unique across every
+#: timeline of a run
+_UID_COUNTER = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -36,6 +43,10 @@ class TimelineOp:
     start: float
     end: float
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: process-unique identity (dep edges may point at other timelines)
+    uid: int = -1
+    #: uids of the ops this one was submitted ``depends_on``
+    deps: Tuple[int, ...] = ()
 
     @property
     def duration(self) -> float:
@@ -87,6 +98,8 @@ class Timeline:
             start=start,
             end=end,
             attrs=dict(attrs or {}),
+            uid=next(_UID_COUNTER),
+            deps=tuple(op.uid for op in depends_on) if depends_on else (),
         )
         self._next_id += 1
         self._ops.append(op)

@@ -78,6 +78,9 @@ class AccessPlan:
     pinned_hits: int = 0
     spill_hits: int = 0
     misses: int = 0
+    #: cache keys the access touched, in request order (the happens-before
+    #: analyzer marks the gather stage as reading exactly these blocks)
+    block_keys: Tuple[Hashable, ...] = ()
 
     @property
     def transfer_bytes(self) -> float:
@@ -99,6 +102,10 @@ class CacheTier:
         self.policy = policy
         self.entries: Dict[Hashable, float] = {}
         self.used_bytes = 0.0
+        #: bytes promised to in-flight staging buffers (no key, not evictable);
+        #: the prefetcher charges its pin-stage buffers here so resident
+        #: blocks plus staging never exceed the tier budget
+        self.reserved_bytes = 0.0
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self.entries
@@ -107,7 +114,9 @@ class CacheTier:
         return self.capacity_bytes is None or nbytes <= self.capacity_bytes
 
     def has_room(self, nbytes: float) -> bool:
-        return self.capacity_bytes is None or self.used_bytes + nbytes <= self.capacity_bytes
+        if self.capacity_bytes is None:
+            return True
+        return self.used_bytes + self.reserved_bytes + nbytes <= self.capacity_bytes
 
     def admit(self, key: Hashable, nbytes: float) -> None:
         self.entries[key] = nbytes
@@ -159,6 +168,9 @@ class FeatureCache:
             ),
         }
         self._dirty: Dict[Hashable, float] = {}
+        #: high-water mark of pinned residency + in-flight staging, the
+        #: quantity the memory-watermark checker verifies against the budget
+        self.peak_pinned_bytes = 0.0
         self.counters: Dict[str, float] = {
             "gpu_hits": 0,
             "pinned_hits": 0,
@@ -196,7 +208,9 @@ class FeatureCache:
         caller subtracts from the datapipe item's stage bytes.
         """
         plan = AccessPlan()
+        keys: List[Hashable] = []
         for key, nbytes in requests:
+            keys.append(key)
             nbytes = float(nbytes)
             plan.total_bytes += nbytes
             tier = self.tier_of(key)
@@ -221,6 +235,7 @@ class FeatureCache:
             self.counters["misses"] += 1
             self.counters["miss_bytes"] += nbytes
             self._admit(key, nbytes)
+        plan.block_keys = tuple(keys)
         return plan
 
     def _admit(self, key: Hashable, nbytes: float) -> None:
@@ -229,7 +244,13 @@ class FeatureCache:
             if not tier.fits(nbytes):
                 continue
             self._make_room(name, nbytes)
+            if not tier.has_room(nbytes):
+                # Staging reservations squeeze the usable capacity below what
+                # eviction can free; fall through to the next tier.
+                continue
             tier.admit(key, nbytes)
+            if name == TIER_PINNED:
+                self._note_pinned_peak()
             return
         # Block larger than every bounded tier: stays uncached.
 
@@ -250,7 +271,11 @@ class FeatureCache:
             if not tier.fits(nbytes):
                 continue
             self._make_room(name, nbytes)
+            if not tier.has_room(nbytes):
+                continue
             tier.admit(key, nbytes)
+            if name == TIER_PINNED:
+                self._note_pinned_peak()
             self.counters["demotions"] += 1
             return
         # Evicted out of the bottom tier: dirty blocks are written back,
@@ -258,6 +283,49 @@ class FeatureCache:
         if key in self._dirty:
             self.counters["writebacks"] += 1
             self.counters["writeback_bytes"] += self._dirty.pop(key)
+
+    # -- staging reservations ---------------------------------------------
+
+    def _note_pinned_peak(self) -> None:
+        tier = self.tiers[TIER_PINNED]
+        self.peak_pinned_bytes = max(
+            self.peak_pinned_bytes, tier.used_bytes + tier.reserved_bytes
+        )
+
+    def reserve_staging(self, nbytes: float) -> float:
+        """Charge an in-flight pin-stage staging buffer against the pinned tier.
+
+        The pinned tier *is* the datapipe's staging memory, so a buffer being
+        pinned for an h2d copy must count against ``pinned_budget_mb`` even
+        though it has no cache key yet.  Resident pinned blocks are demoted
+        to make room; the reservation is dropped via :meth:`release_staging`
+        once the transfer completes.
+
+        The pool is bounded: a buffer larger than what eviction can free is
+        streamed through recycled bounce buffers instead of growing the pool,
+        so residency + reservations never exceed the tier capacity.  Returns
+        the bytes actually charged — pass the same value to
+        :meth:`release_staging`.
+        """
+        if nbytes <= 0:
+            return 0.0
+        tier = self.tiers[TIER_PINNED]
+        if tier.capacity_bytes is not None:
+            nbytes = min(nbytes, float(tier.capacity_bytes))
+        self._make_room(TIER_PINNED, nbytes)
+        if tier.capacity_bytes is not None:
+            nbytes = min(
+                nbytes,
+                max(0.0, tier.capacity_bytes - tier.used_bytes - tier.reserved_bytes),
+            )
+        tier.reserved_bytes += nbytes
+        self._note_pinned_peak()
+        return nbytes
+
+    def release_staging(self, nbytes: float) -> None:
+        """Return staging bytes reserved with :meth:`reserve_staging`."""
+        tier = self.tiers[TIER_PINNED]
+        tier.reserved_bytes = max(0.0, tier.reserved_bytes - nbytes)
 
     # -- mutation ----------------------------------------------------------
 
@@ -314,6 +382,10 @@ class FeatureCache:
             out[f"feature_cache_{name}_used_bytes"] = tier.used_bytes
             if tier.capacity_bytes is not None:
                 out[f"feature_cache_{name}_capacity_bytes"] = float(tier.capacity_bytes)
+        out["feature_cache_staging_reserved_bytes"] = self.tiers[
+            TIER_PINNED
+        ].reserved_bytes
+        out["feature_cache_peak_pinned_bytes"] = self.peak_pinned_bytes
         return out
 
 

@@ -280,6 +280,9 @@ class ServingScheduler:
         self.feature_cache: Optional[FeatureCache] = None
         if self.memory.feature_cache:
             self.feature_cache = self._build_feature_cache()
+        # In-flight pin-stage staging buffers count against the cache's
+        # pinned tier (pinned_budget_mb covers residency and staging alike).
+        self.prefetcher.cache = self.feature_cache
         self.metrics = ServingMetrics()
         #: telemetry sink; the engine swaps in a live CallbackList
         self.hooks: TelemetryCallback = NULL_CALLBACK
@@ -409,12 +412,15 @@ class ServingScheduler:
         self._touch_wall_clock()
         at = self.device.elapsed_seconds() if at is None else at
         patch_seconds = self.session.refresh(report)
-        if self.feature_cache is not None and report.num_touched:
+        touched_blocks: List[int] = []
+        if report.num_touched:
+            touched_blocks = blocks_of_rows(
+                report.touched_rows, self.memory.block_rows
+            )
+        if self.feature_cache is not None and touched_blocks:
             # The delta rewrote these rows: any tier copy (including halo
             # rows a prefetch may still be shipping) is stale.
-            self.feature_cache.invalidate(
-                blocks_of_rows(report.touched_rows, self.memory.block_rows)
-            )
+            self.feature_cache.invalidate(touched_blocks)
         # Remember the op: batches serving the post-delta window must not
         # start before the delta that produced their state has been applied.
         self._last_delta_op = self.device.host_op(
@@ -423,6 +429,11 @@ class ServingScheduler:
             stream="cpu_prep" if self.config.enable_pipeline else "default",
             not_before=at,
         )
+        if touched_blocks:
+            # The delta op *writes* the touched feature blocks; a gather
+            # reading those blocks without an ordering path is a race the
+            # happens-before checker flags.
+            self._last_delta_op.attrs["hb_writes"] = list(touched_blocks)
         self.metrics.record_delta(report.num_touched)
         self.hooks.on_delta(report.version, report.num_touched, at)
         return report
@@ -498,6 +509,7 @@ class ServingScheduler:
                     transfer_bytes=max(0.0, transfer_bytes - plan.gpu_bytes),
                     gather_bytes=gather,
                     pin_bytes=gather,
+                    block_keys=plan.block_keys,
                 )
                 self.hooks.on_cache_access(
                     item.label,

@@ -51,6 +51,7 @@ _RUN_THREADS: Dict[str, str] = {
     "request": "requests",
     "batch": "batches",
     "delta": "deltas",
+    "violation": "violations",
 }
 #: thread reserved on each device track for pipeline bubble spans
 _BUBBLE_THREAD = "bubble"
@@ -175,6 +176,23 @@ def build_chrome_trace(
         offset = offsets.get(span.domain, 0.0)
         args = {key: _jsonable(value) for key, value in sorted(span.attrs.items())}
         prefetch_pids = domain_track_pids.get(span.domain, [])
+        if span.category == "violation":
+            # Sanitizer findings are points in time, not intervals: render
+            # as global-scope instant events on the run process so Perfetto
+            # draws them as flags across every track.
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "pid": _RUN_PID,
+                    "tid": run_tid(_RUN_THREADS["violation"]),
+                    "name": span.name,
+                    "cat": span.category,
+                    "ts": span.start * _US + offset * _US,
+                    "args": args,
+                }
+            )
+            continue
         if span.category == "bubble" and train_track_pids:
             # Bubbles belong visually to the stalled stage's device track.
             stage = span.attrs.get("stage", 0)

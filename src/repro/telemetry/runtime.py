@@ -168,6 +168,18 @@ class Telemetry:
                     "serving.peak_memory_bytes": float(serving.peak_memory_bytes),
                 }
             )
+        analysis = getattr(report, "extras", {}).get("analysis")
+        if analysis is not None:
+            registry.set_gauges(
+                {
+                    "analysis.num_checks": float(len(analysis.get("checks", []))),
+                    "analysis.num_violations": float(
+                        analysis.get("num_violations", 0)
+                    ),
+                    "analysis.num_errors": float(analysis.get("num_errors", 0)),
+                    "analysis.num_warnings": float(analysis.get("num_warnings", 0)),
+                }
+            )
         return registry.snapshot()
 
 

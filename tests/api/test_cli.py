@@ -226,7 +226,7 @@ class TestRun:
         doc = json.loads(trace.read_text())
         assert doc["traceEvents"] and doc["displayTimeUnit"] == "ms"
         payload = json.loads(report.read_text())
-        assert set(payload) == {"spec", "training", "serving", "metrics"}
+        assert set(payload) == {"spec", "training", "serving", "metrics", "extras"}
         assert payload["metrics"]  # telemetry snapshot is populated
 
     def test_trace_with_disabled_telemetry_exits_2(self, capsys):
